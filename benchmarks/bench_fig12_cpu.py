@@ -1,0 +1,45 @@
+"""Figure 12: system CPU to read a 16 MB file through mmap.
+
+Paper:
+    2.6s   4.1.1 UFS, no rotdelays, 16MB mmap read
+    3.4s   4.1 UFS, rotdelays, 16MB mmap read
+
+"The new UFS is approximately 25% more efficient in terms of CPU cycles."
+"""
+
+from repro.bench import run_cpu_bench
+from repro.bench.report import PAPER_FIGURE_12, Table
+from repro.kernel.config import SystemConfig
+
+
+def test_fig12_cpu_comparison(once):
+    def run():
+        return {
+            "new": run_cpu_bench(SystemConfig.config_a()),
+            "old": run_cpu_bench(SystemConfig.config_d()),
+        }
+
+    results = once(run)
+    table = Table(title="Figure 12: system CPU, 16 MB mmap read",
+                  columns=["CPU (ours)", "CPU (paper)", "elapsed"])
+    for name in ("new", "old"):
+        r = results[name]
+        table.add_row(name, [round(r.cpu_seconds, 2),
+                             PAPER_FIGURE_12[name], round(r.elapsed, 1)])
+    print()
+    print(table.render("{:>12}"))
+    print("\nnew-system CPU breakdown:",
+          {k: round(v, 2) for k, v in results["new"].breakdown.items()
+           if v >= 0.05})
+    print("old-system CPU breakdown:",
+          {k: round(v, 2) for k, v in results["old"].breakdown.items()
+           if v >= 0.05})
+
+    new, old = results["new"], results["old"]
+    assert new.cpu_seconds < old.cpu_seconds
+    savings = 1 - new.cpu_seconds / old.cpu_seconds
+    # Paper: ~25% more efficient.  Accept a band around it.
+    assert 0.10 <= savings <= 0.40, f"savings {savings:.0%}"
+    # Absolute scale should land near the paper's seconds (same machine).
+    assert 2.0 <= new.cpu_seconds <= 3.3
+    assert 2.8 <= old.cpu_seconds <= 4.2

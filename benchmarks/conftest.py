@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints the table/figure it regenerates (run pytest with
+``-s`` to see them; the same numbers are summarised in EXPERIMENTS.md).
+pytest-benchmark's timer measures the wall-clock cost of running the
+simulation; the *results* are simulated quantities printed by each bench.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

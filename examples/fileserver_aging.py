@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""File-server aging: does clustering survive a fragmented disk?
+
+The paper's allocator experiment in miniature: age a file system with
+years' worth of create/delete churn compressed into one run, then write a
+large file into what free space remains and see what extents the allocator
+still manages, and what that does to sequential read throughput.
+
+Run:  python examples/fileserver_aging.py
+"""
+
+from repro.bench.agefs import age_filesystem, measure_extents
+from repro.disk import DiskGeometry
+from repro.kernel import Proc, System, SystemConfig
+from repro.ufs import FsParams, fsck
+from repro.units import KB, MB
+
+
+def build(aged: bool) -> System:
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=512, heads=9,
+                                      sectors_per_track=28),
+        fs_params=FsParams.clustered(120 * KB, cpg=32),
+    )
+    system = System.booted(cfg)
+    if aged:
+        survivors = age_filesystem(system, target_utilization=0.80, seed=42)
+        print(f"  aged: {survivors} files survive, "
+              f"{system.mount.sb.cs_nbfree} free blocks, "
+              f"{system.mount.sb.cs_nffree} loose fragments")
+    return system
+
+
+def write_and_read(system: System, size: int) -> float:
+    proc = Proc(system)
+
+    def writer():
+        fd = yield from proc.creat("/bigfile")
+        for _ in range(size // (64 * KB)):
+            yield from proc.write(fd, bytes(64 * KB))
+        yield from proc.fsync(fd)
+
+    system.run(writer())
+    vn = system.run(system.mount.namei("/bigfile"))
+    for page in system.pagecache.vnode_pages(vn):
+        if not page.locked and not page.dirty:
+            system.pagecache.destroy(page)
+    vn.inode.readahead.reset()
+
+    def reader():
+        fd = yield from proc.open("/bigfile")
+        while True:
+            data = yield from proc.read(fd, 8 * KB)
+            if not data:
+                break
+
+    t0 = system.now
+    system.run(reader())
+    return size / (system.now - t0) / 1024
+
+
+def main() -> None:
+    for aged, label in ((False, "fresh file system"),
+                        (True, "aged file system (80% full + churn)")):
+        print(f"{label}:")
+        system = build(aged)
+        rate = write_and_read(system, 6 * MB)
+        report = measure_extents(system, "/bigfile")
+        print(f"  6 MB file -> {report.count} extents, "
+              f"average {report.average / KB:.0f} KB, "
+              f"largest {report.largest / KB:.0f} KB")
+        print(f"  sequential read: {rate:.0f} KB/s")
+        system.sync()
+        check = fsck(system.store)
+        print(f"  fsck: {'clean' if check.clean else check.findings}\n")
+    print("The allocator 'thinks ahead enough' (10% reserve) that clustering"
+          "\nkeeps working on an aged disk — the paper's case against"
+          "\npreallocation and against exposing extents to users.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro: McVoy & Kleiman's UFS I/O clustering, reproduced in simulation.
+
+A full-stack reproduction of *Extent-like Performance from a UNIX File
+System* (USENIX Winter 1991): a discrete-event simulated SPARCstation-era
+machine (CPU cost model, rotational disk with a look-ahead track buffer,
+unified page cache with a two-handed-clock pageout daemon) running a real
+FFS-format file system with the paper's clustering enhancements.
+
+Most users want three imports:
+
+>>> from repro.kernel import Proc, System, SystemConfig
+>>> system = System.booted(SystemConfig.config_a())
+>>> proc = Proc(system)
+
+and then write generator workloads against the POSIX-ish :class:`Proc`
+API.  See README.md for the tour, DESIGN.md for the architecture, and
+EXPERIMENTS.md for the paper-vs-measured accounting.
+"""
+
+from repro.core import ClusterTuning
+from repro.kernel import Proc, System, SystemConfig
+from repro.ufs import FsParams, fsck, mkfs, tunefs, ufsdump
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterTuning",
+    "FsParams",
+    "Proc",
+    "System",
+    "SystemConfig",
+    "fsck",
+    "mkfs",
+    "tunefs",
+    "ufsdump",
+    "__version__",
+]

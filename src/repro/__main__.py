@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``iobench [--configs ABCD] [--file-mb 16]`` — run the paper's figure 10
+  benchmark and print the measured-vs-paper tables;
+* ``cpubench`` — the figure 12 CPU comparison;
+* ``musbus [--users 4]`` — the timesharing mix;
+* ``traces`` — print the figure 3/6/7 event-trace diagrams;
+* ``demo`` — a short guided tour (quickstart + fsck).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_iobench(args: argparse.Namespace) -> int:
+    from repro.bench.iobench import run_configs
+    from repro.bench.report import PAPER_FIGURE_10, compare_to_paper, ratio_table
+    from repro.units import MB
+
+    names = list(args.configs.upper())
+    print(f"running IObench on configurations {', '.join(names)} "
+          f"({args.file_mb} MB file; this simulates a few minutes of 1991)...")
+    results = {r.config: r.rates
+               for r in run_configs(names, file_size=args.file_mb * MB)}
+    print()
+    print(compare_to_paper(results, PAPER_FIGURE_10, "Figure 10 (KB/s)"))
+    if len(results) > 1 and "A" in results:
+        print()
+        print(ratio_table(results))
+    return 0
+
+
+def _cmd_cpubench(args: argparse.Namespace) -> int:
+    from repro.bench import run_cpu_bench
+    from repro.bench.report import PAPER_FIGURE_12
+    from repro.kernel import SystemConfig
+
+    for label, cfg in (("new", SystemConfig.config_a()),
+                       ("old", SystemConfig.config_d())):
+        r = run_cpu_bench(cfg)
+        print(f"{label}: {r.cpu_seconds:.2f} CPU s "
+              f"(paper: {PAPER_FIGURE_12[label]}) over {r.elapsed:.1f} s "
+              f"elapsed")
+    return 0
+
+
+def _cmd_musbus(args: argparse.Namespace) -> int:
+    from repro.bench import run_musbus
+    from repro.kernel import SystemConfig
+
+    for name in ("A", "D"):
+        r = run_musbus(SystemConfig.by_name(name), users=args.users)
+        print(f"config {name}: {r.elapsed:.2f} s elapsed, "
+              f"{r.throughput:.2f} scripts/s")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    import subprocess
+
+    return subprocess.call([
+        sys.executable, "-m", "pytest", "-q", "-s", "--benchmark-only",
+        "benchmarks/bench_fig03_06_07_traces.py",
+    ])
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.collect import collect_results
+    from repro.units import MB
+
+    results = collect_results(list(args.configs.upper()),
+                              file_size=args.file_mb * MB)
+    text = results.to_markdown()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from examples.quickstart import main as quickstart_main  # type: ignore
+
+    quickstart_main()
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of McVoy & Kleiman, USENIX 1991.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("iobench", help="figure 10/11 transfer rates")
+    p.add_argument("--configs", default="AD",
+                   help="which figure 9 configurations (default AD)")
+    p.add_argument("--file-mb", type=int, default=16)
+    p.set_defaults(fn=_cmd_iobench)
+
+    p = sub.add_parser("cpubench", help="figure 12 CPU comparison")
+    p.set_defaults(fn=_cmd_cpubench)
+
+    p = sub.add_parser("musbus", help="timesharing mix")
+    p.add_argument("--users", type=int, default=4)
+    p.set_defaults(fn=_cmd_musbus)
+
+    p = sub.add_parser("traces", help="figure 3/6/7 trace diagrams")
+    p.set_defaults(fn=_cmd_traces)
+
+    p = sub.add_parser("report", help="regenerate RESULTS.md")
+    p.add_argument("--configs", default="ABCD")
+    p.add_argument("--file-mb", type=int, default=16)
+    p.add_argument("--output", default="")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("demo", help="guided quickstart")
+    p.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

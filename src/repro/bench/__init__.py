@@ -1,0 +1,34 @@
+"""Benchmark harnesses reproducing the paper's evaluation.
+
+* :mod:`iobench` — the IObench workload (figure 10's FSR/FSU/FSW/FRR/FRU
+  columns) over the figure 9 configurations;
+* :mod:`cpubench` — the mmap-interface CPU comparison (figure 12);
+* :mod:`musbus` — a MusBus-like multi-user timesharing workload ("didn't
+  move any substantial amount of data");
+* :mod:`agefs` — file system aging (create/delete churn) and extent-size
+  measurement, reproducing the allocator-contiguity observations;
+* :mod:`report` — paper-style table formatting and paper-vs-measured
+  comparison helpers.
+"""
+
+from repro.bench.agefs import age_filesystem, measure_extents
+from repro.bench.collect import Results, collect_results
+from repro.bench.cpubench import CpuBenchResult, run_cpu_bench
+from repro.bench.iobench import IObench, IObenchResult
+from repro.bench.musbus import MusbusResult, run_musbus
+from repro.bench.report import Table, ratio_table
+
+__all__ = [
+    "CpuBenchResult",
+    "Results",
+    "collect_results",
+    "IObench",
+    "IObenchResult",
+    "MusbusResult",
+    "Table",
+    "age_filesystem",
+    "measure_extents",
+    "ratio_table",
+    "run_cpu_bench",
+    "run_musbus",
+]

@@ -1,0 +1,94 @@
+"""Collect every headline result into one report (RESULTS.md generator).
+
+``python -m repro report`` (or :func:`collect_results` programmatically)
+re-runs the core paper experiments and renders a single markdown document
+with measured-vs-paper tables — the artifact a reproduction hands to a
+reviewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.cpubench import run_cpu_bench
+from repro.bench.iobench import PHASES, run_configs
+from repro.bench.musbus import run_musbus
+from repro.bench.report import (
+    PAPER_FIGURE_10, PAPER_FIGURE_11, PAPER_FIGURE_12,
+)
+from repro.kernel.config import SystemConfig
+from repro.units import MB
+
+
+@dataclass
+class Results:
+    """Everything :func:`collect_results` measured."""
+
+    figure10: dict = field(default_factory=dict)  # config -> phase -> KB/s
+    figure11: dict = field(default_factory=dict)  # ratio label -> phase -> x
+    figure12: dict = field(default_factory=dict)  # new/old -> CPU seconds
+    musbus: dict = field(default_factory=dict)  # config -> elapsed
+
+    def to_markdown(self) -> str:
+        lines = ["# RESULTS (generated)", ""]
+        lines += ["## Figure 10 — IObench transfer rates (KB/s)", ""]
+        header = "| run | " + " | ".join(
+            f"{p} ours | {p} paper" for p in PHASES) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (2 * len(PHASES) + 1))
+        for config in sorted(self.figure10):
+            cells = []
+            for phase in PHASES:
+                cells.append(f"{self.figure10[config][phase]:.0f}")
+                cells.append(f"{PAPER_FIGURE_10[config][phase]}")
+            lines.append(f"| {config} | " + " | ".join(cells) + " |")
+        lines += ["", "## Figure 11 — ratios (ours / paper)", ""]
+        lines.append("| ratio | " + " | ".join(PHASES) + " |")
+        lines.append("|" + "---|" * (len(PHASES) + 1))
+        for label in sorted(self.figure11):
+            cells = [
+                f"{self.figure11[label][p]:.2f} / "
+                f"{PAPER_FIGURE_11[label][p]:.2f}"
+                for p in PHASES
+            ]
+            lines.append(f"| {label} | " + " | ".join(cells) + " |")
+        lines += ["", "## Figure 12 — CPU seconds, 16 MB mmap read", ""]
+        lines.append("| system | ours | paper |")
+        lines.append("|---|---|---|")
+        for label in ("new", "old"):
+            lines.append(f"| {label} | {self.figure12[label]:.2f} | "
+                         f"{PAPER_FIGURE_12[label]} |")
+        lines += ["", "## MusBus-like timesharing", ""]
+        lines.append("| config | elapsed (s) |")
+        lines.append("|---|---|")
+        for config in sorted(self.musbus):
+            lines.append(f"| {config} | {self.musbus[config]:.2f} |")
+        if {"A", "D"} <= set(self.musbus):
+            ratio = self.musbus["D"] / self.musbus["A"]
+            lines.append("")
+            lines.append(f"D/A elapsed ratio: {ratio:.3f} "
+                         f"(paper: \"improved only slightly\")")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def collect_results(configs: "list[str] | None" = None,
+                    file_size: int = 16 * MB) -> Results:
+    """Run the figure 10/11/12 + MusBus experiments and bundle them."""
+    names = configs if configs is not None else list("ABCD")
+    results = Results()
+    for r in run_configs(names, file_size=file_size):
+        results.figure10[r.config] = dict(r.rates)
+    if "A" in results.figure10:
+        for other in names:
+            if other == "A":
+                continue
+            results.figure11[f"A/{other}"] = {
+                p: results.figure10["A"][p] / results.figure10[other][p]
+                for p in PHASES
+            }
+    results.figure12["new"] = run_cpu_bench(SystemConfig.config_a()).cpu_seconds
+    results.figure12["old"] = run_cpu_bench(SystemConfig.config_d()).cpu_seconds
+    for name in ("A", "D"):
+        results.musbus[name] = run_musbus(SystemConfig.by_name(name)).elapsed
+    return results

@@ -1,0 +1,87 @@
+"""Paper-style tables and paper-vs-measured comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The paper's figure 10, for side-by-side comparison (KB/second).
+PAPER_FIGURE_10 = {
+    "A": {"FSR": 1610, "FSU": 1364, "FSW": 1359, "FRR": 383, "FRU": 452},
+    "B": {"FSR": 805, "FSU": 799, "FSW": 790, "FRR": 369, "FRU": 431},
+    "C": {"FSR": 749, "FSU": 783, "FSW": 784, "FRR": 366, "FRU": 428},
+    "D": {"FSR": 749, "FSU": 722, "FSW": 718, "FRR": 370, "FRU": 545},
+}
+
+#: The paper's figure 11 (transfer rate ratios).
+PAPER_FIGURE_11 = {
+    "A/B": {"FSR": 2.00, "FSU": 1.71, "FSW": 1.72, "FRR": 1.04, "FRU": 1.05},
+    "A/C": {"FSR": 2.15, "FSU": 1.74, "FSW": 1.73, "FRR": 1.05, "FRU": 1.06},
+    "A/D": {"FSR": 2.15, "FSU": 1.89, "FSW": 1.89, "FRR": 1.04, "FRU": 0.83},
+}
+
+#: The paper's figure 12 (CPU seconds, 16 MB mmap read).
+PAPER_FIGURE_12 = {"new": 2.6, "old": 3.4}
+
+
+@dataclass
+class Table:
+    """A small fixed-width table that prints like the paper's figures."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    row_label: str = ""
+
+    def add_row(self, label: str, values: "list[float | str]") -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append((label, values))
+
+    def render(self, fmt: str = "{:>8}") -> str:
+        width = max((len(r[0]) for r in self.rows), default=4)
+        width = max(width, len(self.row_label), 4)
+        header = " " * width + "".join(fmt.format(c) for c in self.columns)
+        lines = [self.title, header]
+        for label, values in self.rows:
+            cells = []
+            for v in values:
+                if isinstance(v, float):
+                    cells.append(fmt.format(f"{v:.2f}" if v < 50 else f"{v:.0f}"))
+                else:
+                    cells.append(fmt.format(v))
+            lines.append(label.ljust(width) + "".join(cells))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def ratio_table(results: dict, base_config: str = "A",
+                phases: "list[str] | None" = None) -> Table:
+    """Figure 11: the base configuration's rates over each other's."""
+    from repro.bench.iobench import PHASES
+
+    phases = phases if phases is not None else list(PHASES)
+    table = Table(title=f"Transfer rate ratios ({base_config}/x)",
+                  columns=phases)
+    base = results[base_config]
+    for name, result in results.items():
+        if name == base_config:
+            continue
+        table.add_row(f"{base_config}/{name}",
+                      [base[p] / result[p] for p in phases])
+    return table
+
+
+def compare_to_paper(measured: dict, paper: dict, label: str) -> Table:
+    """Side-by-side measured-vs-paper table."""
+    columns = list(next(iter(paper.values())).keys())
+    table = Table(title=f"{label}: measured vs paper", columns=columns)
+    for row, paper_vals in paper.items():
+        if row in measured:
+            table.add_row(f"{row} (ours)",
+                          [measured[row][c] for c in columns])
+        table.add_row(f"{row} (paper)", [paper_vals[c] for c in columns])
+    return table

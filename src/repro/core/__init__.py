@@ -1,0 +1,35 @@
+"""The paper's contribution: I/O clustering policies.
+
+Everything McVoy & Kleiman added to UFS lives here as small, separately
+testable policy objects, wired into ``ufs_getpage``/``ufs_putpage``/
+``ufs_rdwr`` by :mod:`repro.ufs.io`:
+
+* :class:`ClusterTuning` — the feature switches distinguishing the paper's
+  benchmark configurations A-D (figure 9);
+* :class:`ReadAheadState` — sequential detection (``nextr``) and clustered
+  read-ahead scheduling (``nextrio``), figures 3 and 6;
+* :class:`WriteClusterState` — the delayed-write cluster state machine
+  (``delayoff``/``delaylen``), figures 7 and 8;
+* :class:`FreeBehindPolicy` — the MRU-for-big-sequential-I/O compromise;
+* :class:`WriteThrottle` — the per-file fairness limit ("essentially a
+  counting semaphore in the inode");
+* :class:`BmapCache` — the "bmap cache" future-work extension.
+"""
+
+from repro.core.freebehind import FreeBehindPolicy
+from repro.core.readahead import ReadAheadAction, ReadAheadState
+from repro.core.throttle import WriteThrottle
+from repro.core.tuning import ClusterTuning
+from repro.core.writecluster import WriteClusterAction, WriteClusterState
+from repro.core.extensions import BmapCache
+
+__all__ = [
+    "BmapCache",
+    "ClusterTuning",
+    "FreeBehindPolicy",
+    "ReadAheadAction",
+    "ReadAheadState",
+    "WriteClusterAction",
+    "WriteClusterState",
+    "WriteThrottle",
+]

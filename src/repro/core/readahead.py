@@ -1,0 +1,95 @@
+"""Sequential detection and read-ahead scheduling (figures 2, 3, 6).
+
+The inode carries two prediction fields:
+
+* ``nextr`` — the offset the next read is predicted to hit.  A fault whose
+  offset equals ``nextr`` is *sequential*.  ``nextr`` starts at 0, so the
+  first read of a file enables read-ahead immediately ("starting read ahead
+  at the beginning of the file turns out to be a beneficial heuristic").
+* ``nextrio``/``trigger`` — the offset of the next read-ahead cluster to
+  issue, and the fault offset that should issue it (the first page of the
+  most recently read-ahead cluster): faulting into the last prefetched
+  cluster prefetches the one after it.
+
+With ``cluster size = 1`` block this degenerates to exactly the old
+per-block read-ahead of figure 3, which is how configurations B-D run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReadAheadAction:
+    """What ufs_getpage should do for one fault.
+
+    ``sync_needed``
+        The faulted page is not cached; read its cluster synchronously.
+    ``ra_after_sync``
+        Start a read-ahead for the cluster immediately following the
+        synchronous cluster (whose length bmap determines).
+    ``ra_offset``
+        Start a read-ahead at this explicit offset (trigger fired), or
+        None.
+    """
+
+    sequential: bool
+    sync_needed: bool
+    ra_after_sync: bool = False
+    ra_offset: "int | None" = None
+
+
+class ReadAheadState:
+    """Per-inode read prediction state."""
+
+    def __init__(self) -> None:
+        self.nextr = 0
+        self.trigger: "int | None" = None  # fault offset firing the next RA
+        self.nextrio = 0  # where the next read-ahead cluster starts
+        #: Whether the most recent observe() saw a sequential access; the
+        #: free-behind policy reads this ("the file is in sequential read
+        #: mode").
+        self.last_was_sequential = False
+
+    def observe(self, offset: int, page_size: int, cached: bool,
+                readahead_enabled: bool = True) -> ReadAheadAction:
+        """Classify one getpage call and decide read-ahead.
+
+        If the action requests a read-ahead and the caller starts it, the
+        caller must call :meth:`issued` with the cluster bmap granted.
+        """
+        if offset < 0 or page_size <= 0:
+            raise ValueError("offset must be >= 0 and page_size positive")
+        sequential = offset == self.nextr
+        self.nextr = offset + page_size
+        self.last_was_sequential = sequential
+        if not sequential:
+            # Lost the pattern; disarm until a new sequential run is seen.
+            self.trigger = None
+            return ReadAheadAction(False, not cached)
+        if not readahead_enabled:
+            return ReadAheadAction(True, not cached)
+        if not cached:
+            # Fresh sync read: prefetch whatever follows the sync cluster.
+            return ReadAheadAction(True, True, ra_after_sync=True)
+        if self.trigger is not None and offset == self.trigger:
+            return ReadAheadAction(True, False, ra_offset=self.nextrio)
+        return ReadAheadAction(True, False)
+
+    def issued(self, ra_offset: int, ra_length: int) -> None:
+        """Record a started read-ahead [ra_offset, ra_offset+ra_length);
+        arms the trigger for the following cluster."""
+        if ra_length <= 0:
+            raise ValueError("ra_length must be positive")
+        if ra_offset < 0:
+            raise ValueError("ra_offset must be >= 0")
+        self.trigger = ra_offset
+        self.nextrio = ra_offset + ra_length
+
+    def reset(self) -> None:
+        """Forget all predictions (inode recycled)."""
+        self.nextr = 0
+        self.trigger = None
+        self.nextrio = 0
+        self.last_was_sequential = False

@@ -1,0 +1,88 @@
+"""Per-file write limiting ("write limits or fairness").
+
+"We do this by adding what is essentially a counting semaphore in the inode.
+Each process decrements the semaphore when writing and increments it when
+the write is complete.  If the semaphore falls below zero, the writing
+process is put to sleep until one of the other writes completes."
+
+Note the order: the charge happens unconditionally (the write is already
+queued), and only then does the writer sleep — so a single write larger
+than the limit still proceeds, it just stalls the writer afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class WriteThrottle:
+    """The inode's counting semaphore over bytes in the write queue."""
+
+    def __init__(self, engine: "Engine", limit: int):
+        """``limit`` in bytes; 0 disables throttling entirely."""
+        if limit < 0:
+            raise ValueError("limit must be >= 0")
+        self.engine = engine
+        self.limit = limit
+        self.value = limit
+        self._waiters: list[Event] = []
+        self.sleeps = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.limit > 0
+
+    @property
+    def in_flight(self) -> int:
+        """Bytes currently charged against the limit."""
+        if not self.enabled:
+            return 0
+        return self.limit - self.value
+
+    def take(self, nbytes: int) -> None:
+        """Account ``nbytes`` of write being queued (no sleeping here:
+        the write must reach the driver before its completion can ever
+        credit us back)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.enabled:
+            self.value -= nbytes
+
+    def wait_ok(self) -> Generator[Event, Any, None]:
+        """Sleep until the semaphore is non-negative again."""
+        if not self.enabled:
+            return
+        while self.value < 0:
+            self.sleeps += 1
+            ev = Event(self.engine, name="write-limit")
+            self._waiters.append(ev)
+            yield ev
+
+    def charge(self, nbytes: int) -> Generator[Event, Any, None]:
+        """take() then wait_ok(): the paper's decrement-then-maybe-sleep.
+
+        Only correct when the associated write has already been queued or
+        will be queued by another process; otherwise use take() before
+        issuing and wait_ok() after.
+        """
+        self.take(nbytes)
+        yield from self.wait_ok()
+
+    def credit(self, nbytes: int) -> None:
+        """A queued write of ``nbytes`` completed (called from iodone)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if not self.enabled:
+            return
+        self.value += nbytes
+        if self.value > self.limit:
+            raise RuntimeError("write throttle over-credited")
+        if self.value >= 0 and self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for ev in waiters:
+                ev.succeed()

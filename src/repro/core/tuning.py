@@ -1,0 +1,77 @@
+"""Feature switches for the clustered kernel.
+
+The paper's figure 9 describes four benchmark configurations of the same
+kernel ("we used a kernel that has variables that enable and disable the old
+and new code").  :class:`ClusterTuning` is that set of variables; the
+on-disk knobs (``rotdelay``, ``maxcontig``) live in
+:class:`repro.ufs.FsParams` because they are mkfs/tunefs state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class ClusterTuning:
+    """Which parts of the new code are enabled."""
+
+    #: Clustered read-ahead in ufs_getpage (figure 6).  When False, the old
+    #: one-block-ahead read-ahead (figure 3) is used.
+    read_clustering: bool = True
+    #: Delayed-write clustering in ufs_putpage (figures 7/8).  When False,
+    #: every page write starts its own I/O when unmapped.
+    write_clustering: bool = True
+    #: Free pages behind large sequential reads under memory pressure.
+    freebehind: bool = True
+    #: Per-file bytes allowed in the write queue; 0 = unlimited (the old
+    #: fairness-free behaviour).  The paper settled on 240 KB.
+    write_limit: int = 240 * KB
+    #: File offset after which free-behind may engage ("at a large enough
+    #: offset" — the file must demonstrably be a big sequential read).
+    freebehind_min_offset: int = 256 * KB
+    #: Future work: per-inode cache of bmap translations.
+    bmap_cache: bool = False
+    #: Future work: use the request size as a clustering hint for random
+    #: I/O of large records.
+    random_clustering: bool = False
+    #: Future work (UFS_HOLE): skip the bmap call on a page-cache hit when
+    #: the file is known to have no holes.
+    hole_check_bypass: bool = False
+    #: Future work ("data in the inode"): cache small files' contents in
+    #: the in-memory inode and serve reads without touching the page cache.
+    inode_data_cache: bool = False
+    #: Peacock-style comparison mode: delayed writes accumulate in memory
+    #: until something (the update daemon, fsync, pageout) flushes them,
+    #: instead of being pushed at each cluster boundary.  Used only by the
+    #: related-work burstiness benchmark.
+    lazy_writeback: bool = False
+
+    def __post_init__(self) -> None:
+        if self.write_limit < 0:
+            raise ValueError("write_limit must be >= 0 (0 = unlimited)")
+        if self.freebehind_min_offset < 0:
+            raise ValueError("freebehind_min_offset must be >= 0")
+
+    # -- the paper's configurations (figure 9) --------------------------------
+    @classmethod
+    def new_system(cls) -> "ClusterTuning":
+        """Configuration A's code: everything on (SunOS 4.1.1)."""
+        return cls()
+
+    @classmethod
+    def old_system(cls, freebehind: bool = False,
+                   write_limit: int = 0) -> "ClusterTuning":
+        """The 4.1 code paths: no clustering; B/C add the new heuristics."""
+        return cls(
+            read_clustering=False,
+            write_clustering=False,
+            freebehind=freebehind,
+            write_limit=write_limit,
+        )
+
+    def with_(self, **changes: object) -> "ClusterTuning":
+        """A modified copy (ablation helper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

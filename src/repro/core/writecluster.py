@@ -1,0 +1,104 @@
+"""The delayed-write cluster state machine (figures 7 and 8).
+
+``ufs_putpage`` on the delayed path "handles writes by assuming sequential
+I/O and pretending that the I/O completed immediately (in other words, do
+nothing)".  Two inode fields track the pretence:
+
+* ``delayoff`` — offset of the first delayed page;
+* ``delaylen`` — bytes delayed so far.
+
+When the cluster fills, the whole range is pushed; when the sequentiality
+assumption breaks, the old range is pushed and the machine restarts at the
+current page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WriteClusterAction:
+    """What the caller must do after offering a page.
+
+    ``flush_offset/flush_len`` describe a range of previously delayed pages
+    (possibly including the offered page) that must be written now; a zero
+    ``flush_len`` means keep lying.  ``restarted`` is True when the offered
+    page broke the pattern and begins a new delayed range (so it is *not*
+    part of the flush).
+    """
+
+    flush_offset: int = 0
+    flush_len: int = 0
+    restarted: bool = False
+
+    @property
+    def should_flush(self) -> bool:
+        return self.flush_len > 0
+
+
+class WriteClusterState:
+    """Per-inode delayed-write bookkeeping."""
+
+    def __init__(self) -> None:
+        self.delayoff = 0
+        self.delaylen = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes currently being lied about."""
+        return self.delaylen
+
+    def offer(self, offset: int, page_size: int, max_bytes: int) -> WriteClusterAction:
+        """Offer one dirty page being unmapped; figure 8's algorithm.
+
+        ``max_bytes`` is the cluster size (maxcontig in bytes).
+        """
+        if offset < 0 or page_size <= 0 or max_bytes < page_size:
+            raise ValueError("bad offer arguments")
+        extended = False
+        if self.delaylen == 0:
+            # Nothing delayed: start a new range at this page.
+            self.delayoff = offset
+            self.delaylen = page_size
+            extended = True
+        elif self.delayoff + self.delaylen == offset and self.delaylen < max_bytes:
+            self.delaylen += page_size
+            extended = True
+        if extended:
+            if self.delaylen >= max_bytes:
+                # Cluster complete: push it, including this page.  With a
+                # one-page cluster this is the old per-page write path.
+                action = WriteClusterAction(self.delayoff, self.delaylen)
+                self.delayoff += self.delaylen
+                self.delaylen = 0
+                return action
+            return WriteClusterAction()
+        # Sequentiality broke (or the range was somehow over-full): write
+        # out the old pages, restart with the current page delayed.
+        action = WriteClusterAction(self.delayoff, self.delaylen, restarted=True)
+        self.delayoff = offset
+        self.delaylen = page_size
+        return action
+
+    def steal(self, offset: int, length: int) -> "tuple[int, int]":
+        """A non-delayed putpage is cleaning [offset, offset+length).
+
+        Returns the delayed range that must be folded into the flush (it
+        may be empty), and resets the machine — the dirty bits, not this
+        heuristic, are the ground truth for what needs writing.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        if self.delaylen == 0:
+            return (0, 0)
+        start, span = self.delayoff, self.delaylen
+        if offset < start + span and start < offset + length:
+            self.delayoff = 0
+            self.delaylen = 0
+            return (start, span)
+        return (0, 0)
+
+    def reset(self) -> None:
+        self.delayoff = 0
+        self.delaylen = 0

@@ -1,0 +1,15 @@
+"""Simulated CPU with a calibrated kernel cost model.
+
+The paper's motivation is as much about CPU as about the disk: "about half of
+a 12 MIPS CPU was used to get half of the disk bandwidth of a 1.5 MB/second
+disk", and figure 12 reports CPU seconds for a 16 MB mmap read.  Every kernel
+code path in this reproduction charges simulated CPU time from the
+:class:`~repro.cpu.costs.CostTable`, so clustering's CPU savings (fewer
+traversals of the file system and driver code) emerge from the model rather
+than being asserted.
+"""
+
+from repro.cpu.costs import CostTable
+from repro.cpu.cpu import Cpu
+
+__all__ = ["CostTable", "Cpu"]

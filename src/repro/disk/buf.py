@@ -1,0 +1,112 @@
+"""The buf: a disk I/O request, in the spirit of the BSD ``struct buf``.
+
+A buf carries an operation, a linear sector address, a length, and the data
+(for writes; filled in for reads).  Completion is signalled through the
+``done`` event (``biowait`` = ``yield buf.done``) and through ``iodone``
+callbacks (the ``b_iodone`` hook the clustered putpage path uses to release
+write-limit bytes from interrupt context).
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+_buf_ids = count(1)
+
+
+class BufOp(enum.Enum):
+    """Direction of a disk transfer."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class Buf:
+    """One disk request.
+
+    Flags mirror the kernel's: ``async_`` is B_ASYNC (caller does not wait),
+    ``ordered`` is the paper's proposed B_ORDER barrier (may not be reordered
+    by disksort, the driver, or the controller).
+    """
+
+    __slots__ = (
+        "id", "op", "sector", "nsectors", "data", "async_", "ordered",
+        "done", "iodone", "owner", "issued_at", "started_at", "finished_at",
+        "children", "error",
+    )
+
+    def __init__(self, engine: "Engine", op: BufOp, sector: int, nsectors: int,
+                 data: bytes | None = None, async_: bool = False,
+                 ordered: bool = False, owner: str = ""):
+        if nsectors <= 0:
+            raise ValueError("nsectors must be positive")
+        if sector < 0:
+            raise ValueError("sector must be >= 0")
+        if op is BufOp.WRITE and data is None:
+            raise ValueError("write buf requires data")
+        self.id = next(_buf_ids)
+        self.op = op
+        self.sector = sector
+        self.nsectors = nsectors
+        self.data = data
+        self.async_ = async_
+        self.ordered = ordered
+        self.done: Event = Event(engine, name=f"buf{self.id}.done")
+        self.iodone: list[Callable[["Buf"], None]] = []
+        self.owner = owner
+        self.issued_at = engine.now
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: For coalesced (driver-clustered) parents: the original requests.
+        self.children: list["Buf"] = []
+        self.error: BaseException | None = None
+
+    @property
+    def end_sector(self) -> int:
+        """One past the last sector of the request."""
+        return self.sector + self.nsectors
+
+    @property
+    def nbytes(self) -> int:
+        from repro.units import SECTOR_SIZE
+
+        return self.nsectors * SECTOR_SIZE
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is BufOp.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is BufOp.WRITE
+
+    def adjacent_to(self, other: "Buf") -> bool:
+        """True if this request is contiguous with ``other`` (either side)."""
+        return self.end_sector == other.sector or other.end_sector == self.sector
+
+    def complete(self, error: BaseException | None = None) -> None:
+        """Mark the request finished, run iodone hooks, trigger ``done``."""
+        self.finished_at = self.done.engine.now
+        self.error = error
+        for hook in self.iodone:
+            hook(self)
+        if error is None:
+            self.done.succeed(self)
+        else:
+            self.done.fail(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag for flag, on in (("A", self.async_), ("O", self.ordered)) if on
+        )
+        return (
+            f"<Buf#{self.id} {self.op.value} sec={self.sector}+{self.nsectors}"
+            f"{' ' + flags if flags else ''}>"
+        )

@@ -1,0 +1,245 @@
+"""The rotational disk mechanism: seeks, rotation, transfer, track buffer.
+
+Timing model
+------------
+The spindle never stops: the angular position is a pure function of simulated
+time.  Servicing a request walks it track by track:
+
+* **media access** (all writes; reads that miss the track buffer): per-request
+  controller overhead, a seek if the cylinder changes, a head switch if the
+  head changes, the rotational wait until the first target sector arrives,
+  then one sector time per sector.  Track and cylinder skew make sequential
+  multi-track transfers stream with only small waits at boundaries.
+* **buffer-assisted read**: when a read starts inside the region the
+  look-ahead buffer has been filling since the last media read, no rotational
+  latency is charged; the request completes when the last requested sector
+  has rotated into the buffer (or after the bus transfer, whichever is
+  later).  This is the mechanism behind the paper's "the track buffer helps
+  only reads" and behind clustered reads streaming at the media rate.
+
+Writes are write-through (the paper's footnote 5: acknowledging a write from
+the buffer would break the stable-storage promise) and invalidate the buffer,
+since the head moves and look-ahead stops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.disk.buf import Buf, BufOp
+from repro.disk.geometry import DiskGeometry
+from repro.disk.store import DiskStore
+from repro.sim.events import Event
+from repro.sim.stats import StatSet
+from repro.units import MB, MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class TrackBuffer:
+    """Look-ahead read buffer state.
+
+    After a media read finishing at linear sector ``fill_start - 1``, the
+    controller keeps streaming: it reads forward across track and cylinder
+    boundaries (paying head-switch/skew gaps), as real look-ahead buffers
+    do, until the head is moved by an unrelated access.  ``lookahead_tracks``
+    bounds how far ahead the buffer is allowed to get (its capacity).
+
+    ``availability(sector)`` is the simulated time the sector is fully in
+    the buffer; a consumer reading sequentially therefore streams at the
+    media rate with no rotational misses — the mechanism that makes
+    clustered reads faster than clustered writes in the paper's figure 10.
+    """
+
+    def __init__(self, geometry: DiskGeometry, lookahead_tracks: int = 2):
+        self.geometry = geometry
+        self.lookahead_tracks = lookahead_tracks
+        self.valid = False
+        self.fill_start = 0  # linear sector where the fill began
+        self.base_time = 0.0  # time the fill started (fill_start under head)
+        self.consumed = 0  # one past the last sector the host has taken
+
+    def set(self, fill_start: int, base_time: float) -> None:
+        """Start (or restart) look-ahead filling from ``fill_start``."""
+        self.valid = True
+        self.fill_start = fill_start
+        self.base_time = base_time
+        self.consumed = fill_start
+
+    def consume(self, sector_end: int) -> None:
+        """The host took sectors up to ``sector_end``; ring space freed."""
+        self.consumed = max(self.consumed, sector_end)
+
+    def invalidate(self) -> None:
+        self.valid = False
+
+    def _limit(self) -> int:
+        # Ring semantics: the fill may run `capacity` ahead of whatever the
+        # host has consumed, indefinitely, as long as the head stays put.
+        cyl, _, _ = self.geometry.to_chs(self.fill_start)
+        spt = self.geometry.sectors_per_track_at(cyl)
+        capacity = self.lookahead_tracks * spt
+        return min(max(self.consumed, self.fill_start) + capacity,
+                   self.geometry.total_sectors)
+
+    def covers(self, sector: int) -> bool:
+        """True if ``sector`` is within the (possibly future) fill range."""
+        return self.valid and self.fill_start <= sector < self._limit()
+
+    def availability(self, sector: int) -> float:
+        """Time at which ``sector`` is fully buffered.
+
+        The fill streams at one sector time per sector, plus a skew gap at
+        every track boundary it crosses (the same gaps a media transfer
+        pays).
+        """
+        if not self.covers(sector):
+            raise ValueError(f"sector {sector} is not in the buffered range")
+        geom = self.geometry
+        cyl0, head0, _ = geom.to_chs(self.fill_start)
+        cyl1, head1, _ = geom.to_chs(sector)
+        spt = geom.sectors_per_track_at(cyl0)
+        st = geom.rotation_time / spt
+        track0 = cyl0 * geom.heads + head0
+        track1 = cyl1 * geom.heads + head1
+        boundaries = track1 - track0
+        skew_gap = geom.track_skew * st
+        delta = sector - self.fill_start + 1
+        # Cylinder boundaries cost the (larger) cylinder skew.
+        cyl_boundaries = cyl1 - cyl0
+        track_boundaries = boundaries - cyl_boundaries
+        cyl_gap = geom.cyl_skew * st
+        return (self.base_time + delta * st
+                + track_boundaries * skew_gap + cyl_boundaries * cyl_gap)
+
+
+class RotationalDisk:
+    """A rotational disk with real data, real angles, and a track buffer."""
+
+    def __init__(self, engine: "Engine", geometry: DiskGeometry | None = None,
+                 store: DiskStore | None = None,
+                 track_buffer: bool = True,
+                 bus_rate: float = 2.5 * MB,
+                 controller_overhead: float = 0.7 * MS,
+                 buffer_hit_overhead: float = 0.3 * MS):
+        self.engine = engine
+        self.geometry = geometry if geometry is not None else DiskGeometry.ibm_400mb()
+        self.store = store if store is not None else DiskStore(
+            self.geometry.total_sectors, self.geometry.sector_size
+        )
+        if self.store.total_sectors != self.geometry.total_sectors:
+            raise ValueError("store size does not match geometry")
+        self.has_track_buffer = track_buffer
+        self.bus_rate = bus_rate
+        self.controller_overhead = controller_overhead
+        self.buffer_hit_overhead = buffer_hit_overhead
+        self.track_buffer = TrackBuffer(self.geometry)
+        self.stats = StatSet("disk")
+        self._cyl = 0
+        self._head = 0
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def current_cylinder(self) -> int:
+        return self._cyl
+
+    def service(self, buf: Buf) -> Generator[Event, Any, None]:
+        """Service one request; advances simulated time.  Driver-only API."""
+        engine = self.engine
+        geom = self.geometry
+        buf.started_at = engine.now
+        self.stats.incr("requests")
+        self.stats.incr("reads" if buf.is_read else "writes")
+        self.stats.incr("sectors", buf.nsectors)
+
+        if buf.is_write:
+            # The head moves and look-ahead stops; be conservative.
+            self.track_buffer.invalidate()
+
+        # Per-request controller/command overhead.
+        yield engine.timeout(self.controller_overhead)
+
+        sector = buf.sector
+        remaining = buf.nsectors
+        if sector + remaining > geom.total_sectors:
+            raise ValueError(
+                f"request [{sector}, {sector + remaining}) beyond end of disk"
+            )
+        first_segment = True
+        while remaining > 0:
+            if (
+                buf.is_read
+                and self.has_track_buffer
+                and self.track_buffer.covers(sector)
+            ):
+                # Stream from the (still filling) look-ahead buffer; the
+                # run may cross track boundaries, as the fill does.
+                run = min(remaining, self.track_buffer._limit() - sector)
+                yield from self._buffer_read(sector, run, first_segment)
+                cyl, head, _ = geom.to_chs(sector + run - 1)
+            else:
+                cyl, head, idx = geom.to_chs(sector)
+                spt = geom.sectors_per_track_at(cyl)
+                run = min(remaining, spt - idx)
+                yield from self._media_access(buf, cyl, head, idx, run)
+                if buf.is_read and self.has_track_buffer:
+                    # The fill begins where this media read began.
+                    transfer = run * geom.sector_time(cyl)
+                    self.track_buffer.set(sector, engine.now - transfer)
+            self._cyl, self._head = cyl, head
+            sector += run
+            remaining -= run
+            first_segment = False
+
+        # Data plane: move the real bytes.
+        if buf.is_read:
+            buf.data = self.store.read(buf.sector, buf.nsectors)
+        else:
+            assert buf.data is not None
+            if len(buf.data) != buf.nbytes:
+                raise ValueError(
+                    f"write buf data length {len(buf.data)} != {buf.nbytes}"
+                )
+            self.store.write(buf.sector, buf.data)
+
+    # -- internals ------------------------------------------------------------
+    def _buffer_read(self, sector: int, run: int,
+                     first_segment: bool) -> Generator[Event, Any, None]:
+        """Serve ``run`` sectors from the (possibly still filling) buffer."""
+        engine = self.engine
+        tb = self.track_buffer
+        self.stats.incr("buffer_hits")
+        self.stats.incr("buffer_sectors", run)
+        bus_time = run * self.geometry.sector_size / self.bus_rate
+        if first_segment:
+            bus_time += self.buffer_hit_overhead
+        available_at = tb.availability(sector + run - 1)
+        finish = max(engine.now + bus_time, available_at)
+        wait = finish - engine.now
+        self.stats.incr("buffer_fill_wait", max(0.0, available_at - engine.now - bus_time))
+        tb.consume(sector + run)
+        if wait > 0:
+            yield engine.timeout(wait)
+
+    def _media_access(self, buf: Buf, cyl: int, head: int, idx: int,
+                      run: int) -> Generator[Event, Any, None]:
+        """Seek/switch/rotate/transfer ``run`` sectors on one track."""
+        engine = self.engine
+        geom = self.geometry
+        self.stats.incr("media_accesses")
+        if cyl != self._cyl:
+            # seek_min already includes head settle, so no separate switch.
+            seek = geom.seek_time(self._cyl, cyl)
+            self.stats.incr("seeks")
+            self.stats.incr("seek_time", seek)
+            yield engine.timeout(seek)
+        elif head != self._head:
+            self.stats.incr("head_switches")
+            yield engine.timeout(geom.head_switch_time)
+        wait = geom.rotational_wait(engine.now, cyl, head, idx)
+        self.stats.incr("rotational_wait", wait)
+        transfer = run * geom.sector_time(cyl)
+        self.stats.incr("transfer_time", transfer)
+        yield engine.timeout(wait + transfer)
+        # (The service loop restarts the look-ahead fill for reads.)

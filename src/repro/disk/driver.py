@@ -1,0 +1,273 @@
+"""The disk driver: queueing, disksort, coalescing, completion interrupts.
+
+``strategy()`` is the kernel entry point: it enqueues a buf and returns
+immediately (asynchronous by construction; synchronous callers ``yield
+buf.done``).  A driver process services the queue one request at a time in
+``disksort`` (one-way elevator / C-LOOK) order.
+
+Two paper-relevant options:
+
+* ``coalesce=True`` enables *driver clustering*, the alternative the paper
+  rejected: adjacent requests already in the queue are merged into one larger
+  request.  It helps writes (many can be queued) but not reads (at most the
+  primary and one read-ahead are ever outstanding) — the benchmarks show this
+  emerging from the model.
+* bufs with ``ordered=True`` (the future-work B_ORDER flag) act as barriers:
+  disksort may not move later requests ahead of them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING
+
+from repro.disk.buf import Buf, BufOp
+from repro.disk.disk import RotationalDisk
+from repro.sim.events import Event
+from repro.sim.resources import Signal
+from repro.sim.stats import StatSet, TimeWeighted
+from repro.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu import Cpu
+    from repro.sim.engine import Engine
+
+
+class _Sweep:
+    """One elevator sweep: bufs sorted by starting sector."""
+
+    __slots__ = ("bufs",)
+
+    def __init__(self) -> None:
+        self.bufs: list[Buf] = []
+
+    def insert_sorted(self, buf: Buf) -> None:
+        insort(self.bufs, buf, key=lambda b: b.sector)
+
+    def neighbours(self, buf: Buf) -> tuple[Buf | None, Buf | None]:
+        """Queued bufs immediately before/after ``buf``'s sector position."""
+        keys = [b.sector for b in self.bufs]
+        i = bisect_left(keys, buf.sector)
+        before = self.bufs[i - 1] if i > 0 else None
+        after = self.bufs[i] if i < len(self.bufs) else None
+        return before, after
+
+
+class DiskQueue:
+    """The driver queue: elevator sweeps separated by B_ORDER barriers.
+
+    A pure one-way elevator starves a request parked behind the head while
+    a continuous forward stream (e.g. a big sequential write) keeps
+    arriving; ``max_passes`` bounds that, as real controllers do: a request
+    passed over that many times is served next regardless of position.
+    """
+
+    def __init__(self, use_disksort: bool = True, max_passes: int = 8):
+        self.use_disksort = use_disksort
+        self.max_passes = max_passes
+        self._segments: list[tuple[str, list[Buf]]] = []
+        self._length = 0
+        self._passes: dict[int, int] = {}  # buf id -> times passed over
+
+    def __len__(self) -> int:
+        return self._length
+
+    def insert(self, buf: Buf) -> None:
+        """Add a request, respecting disksort order and barriers."""
+        self._length += 1
+        if buf.ordered:
+            self._segments.append(("barrier", [buf]))
+            return
+        if not self._segments or self._segments[-1][0] != "sweep":
+            self._segments.append(("sweep", []))
+        seg = self._segments[-1][1]
+        if self.use_disksort:
+            insort(seg, buf, key=lambda b: b.sector)
+        else:
+            seg.append(buf)
+
+    def pop(self, last_sector: int) -> Buf | None:
+        """Next request in one-way elevator order (C-LOOK), or None."""
+        while self._segments and not self._segments[0][1]:
+            self._segments.pop(0)
+        if not self._segments:
+            return None
+        kind, seg = self._segments[0]
+        if kind == "barrier" or not self.use_disksort:
+            buf = seg.pop(0)
+        else:
+            starved = [
+                b for b in seg
+                if self._passes.get(b.id, 0) >= self.max_passes
+            ]
+            if starved:
+                buf = min(starved, key=lambda b: b.issued_at)
+                seg.remove(buf)
+            else:
+                keys = [b.sector for b in seg]
+                i = bisect_left(keys, last_sector)
+                if i == len(seg):
+                    i = 0  # wrap: next sweep starts at the lowest sector
+                buf = seg.pop(i)
+                # Everything behind the head was passed over this round.
+                for skipped in seg[:i]:
+                    self._passes[skipped.id] = self._passes.get(skipped.id, 0) + 1
+        self._length -= 1
+        self._passes.pop(buf.id, None)
+        return buf
+
+    def peek_all(self) -> list[Buf]:
+        """All queued bufs (queue order), for tests and introspection."""
+        return [b for _, seg in self._segments for b in seg]
+
+    def find_adjacent(self, buf: Buf, max_sectors: int) -> Buf | None:
+        """A queued buf adjacent to ``buf`` that could be coalesced with it.
+
+        Only the last (open) sweep is searched — merging across a barrier or
+        into an already-dispatched sweep would reorder requests.
+        """
+        if not self._segments or self._segments[-1][0] != "sweep":
+            return None
+        sweep = _Sweep()
+        sweep.bufs = self._segments[-1][1]
+        before, after = sweep.neighbours(buf)
+        for cand in (before, after):
+            if cand is None or cand.op is not buf.op or cand.ordered:
+                continue
+            if not cand.adjacent_to(buf):
+                continue
+            if cand.nsectors + buf.nsectors > max_sectors:
+                continue
+            return cand
+        return None
+
+    def remove(self, buf: Buf) -> None:
+        """Remove a specific queued buf (used when coalescing)."""
+        for _, seg in self._segments:
+            if buf in seg:
+                seg.remove(buf)
+                self._length -= 1
+                return
+        raise ValueError("buf not in queue")
+
+
+class DiskDriver:
+    """Queue + service process + completion interrupts for one disk."""
+
+    def __init__(self, engine: "Engine", disk: RotationalDisk,
+                 cpu: "Cpu | None" = None,
+                 use_disksort: bool = True,
+                 coalesce: bool = False,
+                 coalesce_limit: int = 56 * KB,
+                 name: str = "sd0"):
+        self.engine = engine
+        self.disk = disk
+        self.cpu = cpu
+        self.name = name
+        self.coalesce = coalesce
+        self.coalesce_limit_sectors = coalesce_limit // disk.geometry.sector_size
+        self.queue = DiskQueue(use_disksort=use_disksort)
+        self.stats = StatSet(f"{name}.driver")
+        self.queue_depth = TimeWeighted(engine, 0)
+        #: Bytes of buffered data sitting in the queue or in service —
+        #: for writes, this is memory pinned by in-flight I/O.
+        self.queue_bytes = TimeWeighted(engine, 0)
+        self._work = Signal(engine, name=f"{name}.work")
+        self._drain_waiters: list[Event] = []
+        self._busy = False
+        self._last_sector = 0
+        engine.process(self._run(), name=f"{name}.driver")
+
+    # -- kernel-facing API ---------------------------------------------------
+    def strategy(self, buf: Buf) -> Buf:
+        """Enqueue a request.  Returns the buf actually queued (which may be
+        a coalesced parent absorbing this one)."""
+        self.stats.incr("requests")
+        self.stats.incr("bytes", buf.nbytes)
+        self.queue_bytes.add(buf.nbytes)
+        if self.coalesce and not buf.ordered:
+            merged = self._try_coalesce(buf)
+            if merged is not None:
+                self.queue_depth.set(len(self.queue) + (1 if self._busy else 0))
+                self._work.fire()
+                return merged
+        self.queue.insert(buf)
+        self.queue_depth.set(len(self.queue) + (1 if self._busy else 0))
+        self._work.fire()
+        return buf
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in service."""
+        return not self._busy and len(self.queue) == 0
+
+    def drain(self) -> Event:
+        """An event that triggers once the driver goes idle."""
+        ev = Event(self.engine, name=f"{self.name}.drain")
+        if self.idle:
+            ev.succeed()
+        else:
+            self._drain_waiters.append(ev)
+        return ev
+
+    # -- coalescing (driver clustering, the rejected alternative) -------------
+    def _try_coalesce(self, buf: Buf) -> Buf | None:
+        other = self.queue.find_adjacent(buf, self.coalesce_limit_sectors)
+        if other is None:
+            return None
+        self.queue.remove(other)
+        first, second = (other, buf) if other.sector < buf.sector else (buf, other)
+        parent = Buf(
+            self.engine, buf.op, first.sector,
+            first.nsectors + second.nsectors,
+            data=(first.data or b"") + (second.data or b"") if buf.op is BufOp.WRITE else None,
+            async_=first.async_ and second.async_,
+            owner="coalesced",
+        )
+        for child in (first, second):
+            if child.children:
+                parent.children.extend(child.children)
+            else:
+                parent.children.append(child)
+        self.stats.incr("coalesced")
+        self.queue.insert(parent)
+        return parent
+
+    # -- service loop ----------------------------------------------------------
+    def _run(self):
+        while True:
+            buf = self.queue.pop(self._last_sector)
+            if buf is None:
+                if self._drain_waiters:
+                    waiters, self._drain_waiters = self._drain_waiters, []
+                    for ev in waiters:
+                        ev.succeed()
+                yield self._work.wait()
+                continue
+            self._busy = True
+            self.queue_depth.set(len(self.queue) + 1)
+            yield from self.disk.service(buf)
+            self._last_sector = buf.end_sector
+            if self.cpu is not None:
+                intr = self.cpu.interrupt_charge("interrupt", self.cpu.costs.interrupt)
+                if intr > 0:
+                    yield self.engine.timeout(intr)
+            self._complete(buf)
+            self._busy = False
+            self.queue_depth.set(len(self.queue))
+            self.queue_bytes.add(-buf.nbytes)
+
+    def _complete(self, buf: Buf) -> None:
+        self.stats.incr("completions")
+        if buf.children:
+            self._complete_children(buf)
+        buf.complete()
+
+    def _complete_children(self, parent: Buf) -> None:
+        offset = 0
+        for child in sorted(parent.children, key=lambda b: b.sector):
+            if parent.is_read:
+                assert parent.data is not None
+                child.data = parent.data[offset:offset + child.nbytes]
+                offset += child.nbytes
+            child.complete()

@@ -1,0 +1,61 @@
+"""Sector-addressed backing store holding real bytes.
+
+Sparse: only written sectors consume memory; unwritten sectors read back as
+zeros (a fresh drive).  This is the *data plane* of the disk model — timing
+lives in :mod:`repro.disk.disk`.
+"""
+
+from __future__ import annotations
+
+from repro.units import SECTOR_SIZE
+
+
+class DiskStore:
+    """A sparse array of fixed-size sectors."""
+
+    def __init__(self, total_sectors: int, sector_size: int = SECTOR_SIZE):
+        if total_sectors <= 0:
+            raise ValueError("total_sectors must be positive")
+        if sector_size <= 0:
+            raise ValueError("sector_size must be positive")
+        self.total_sectors = total_sectors
+        self.sector_size = sector_size
+        self._sectors: dict[int, bytes] = {}
+        self._zero = bytes(sector_size)
+
+    def _check_range(self, sector: int, count: int) -> None:
+        if count <= 0:
+            raise ValueError("sector count must be positive")
+        if sector < 0 or sector + count > self.total_sectors:
+            raise ValueError(
+                f"sector range [{sector}, {sector + count}) outside device "
+                f"of {self.total_sectors} sectors"
+            )
+
+    def read(self, sector: int, count: int) -> bytes:
+        """Read ``count`` sectors starting at ``sector``."""
+        self._check_range(sector, count)
+        parts = [self._sectors.get(s, self._zero) for s in range(sector, sector + count)]
+        return b"".join(parts)
+
+    def write(self, sector: int, data: bytes) -> None:
+        """Write whole sectors starting at ``sector``."""
+        if len(data) % self.sector_size != 0:
+            raise ValueError(
+                f"write length {len(data)} is not a multiple of sector size "
+                f"{self.sector_size}"
+            )
+        count = len(data) // self.sector_size
+        self._check_range(sector, count)
+        size = self.sector_size
+        for i in range(count):
+            chunk = bytes(data[i * size:(i + 1) * size])
+            if chunk == self._zero:
+                self._sectors.pop(sector + i, None)
+            else:
+                self._sectors[sector + i] = chunk
+
+    @property
+    def written_sectors(self) -> int:
+        """Number of sectors holding non-zero data (sparse population)."""
+        return len(self._sectors)

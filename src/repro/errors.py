@@ -1,0 +1,56 @@
+"""Exception hierarchy for the reproduction.
+
+Modelled failures (ENOSPC, EIO, ...) are ordinary exceptions raised *inside*
+the simulation; they are distinct from :class:`repro.sim.SimulationError`,
+which indicates misuse of the simulator itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all modelled errors."""
+
+
+class DiskError(ReproError):
+    """I/O error from the disk model (EIO)."""
+
+
+class FilesystemError(ReproError):
+    """Base class for file-system level errors."""
+
+
+class NoSpaceError(FilesystemError):
+    """File system out of blocks/fragments/inodes (ENOSPC)."""
+
+
+class FileNotFoundError_(FilesystemError):
+    """Path component does not exist (ENOENT)."""
+
+
+class FileExistsError_(FilesystemError):
+    """Path already exists (EEXIST)."""
+
+
+class NotADirectoryError_(FilesystemError):
+    """Path component is not a directory (ENOTDIR)."""
+
+
+class IsADirectoryError_(FilesystemError):
+    """Operation not valid on a directory (EISDIR)."""
+
+
+class DirectoryNotEmptyError(FilesystemError):
+    """rmdir on a non-empty directory (ENOTEMPTY)."""
+
+
+class InvalidArgumentError(ReproError):
+    """Bad argument to a syscall-level API (EINVAL)."""
+
+
+class BadFileError(ReproError):
+    """Operation on a closed or invalid file descriptor (EBADF)."""
+
+
+class CorruptionError(FilesystemError):
+    """On-disk metadata failed validation (what fsck exists to find)."""

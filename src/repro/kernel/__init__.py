@@ -1,0 +1,15 @@
+"""Kernel glue: wiring the subsystems into a bootable simulated machine.
+
+:class:`~repro.kernel.config.SystemConfig` captures a full machine + tuning
+description (the paper's figure 9 rows are presets);
+:class:`~repro.kernel.system.System` builds engine, CPU, disk, driver, VM,
+and pageout daemon from it and can mkfs/mount the file system;
+:class:`~repro.kernel.syscalls.Proc` provides the open/read/write/lseek/
+close/fsync layer benchmarks and examples program against.
+"""
+
+from repro.kernel.config import SystemConfig
+from repro.kernel.syscalls import Proc, SEEK_CUR, SEEK_END, SEEK_SET
+from repro.kernel.system import System
+
+__all__ = ["Proc", "SEEK_CUR", "SEEK_END", "SEEK_SET", "System", "SystemConfig"]

@@ -1,0 +1,215 @@
+"""The syscall layer: what a simulated user process programs against.
+
+A :class:`Proc` owns a file-descriptor table; its methods are generators
+(simulation processes) implementing open/creat/read/write/lseek/close/
+fsync/unlink/mkdir plus an mmap-style ``mmap_read`` that drives the fault
+path without copyout (the paper's figure 12 benchmark interface).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import BadFileError, FileNotFoundError_, InvalidArgumentError
+from repro.vfs.vnode import RW
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.system import System
+    from repro.vfs.vnode import Vnode
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+class _OpenFile:
+    __slots__ = ("vnode", "offset")
+
+    def __init__(self, vnode: "Vnode"):
+        self.vnode = vnode
+        self.offset = 0
+
+
+class Proc:
+    """A simulated process: an fd table and an address space."""
+
+    def __init__(self, system: "System", name: str = "proc"):
+        from repro.vm.addrspace import AddressSpace
+
+        self.system = system
+        self.name = name
+        self._files: dict[int, _OpenFile] = {}
+        self._next_fd = 3  # 0-2 reserved, as tradition demands
+        self.addrspace = AddressSpace(system.engine, system.cpu,
+                                      system.pagecache.page_size)
+
+    @property
+    def _mount(self):
+        mount = self.system.mount
+        if mount is None:
+            raise RuntimeError("file system not mounted")
+        return mount
+
+    def _file(self, fd: int) -> _OpenFile:
+        try:
+            return self._files[fd]
+        except KeyError:
+            raise BadFileError(f"fd {fd} not open") from None
+
+    def _charge_syscall(self) -> Generator[Any, Any, None]:
+        cpu = self.system.cpu
+        yield from cpu.work("syscall", cpu.costs.syscall)
+
+    # -- fd lifecycle --------------------------------------------------------
+    def open(self, path: str, create: bool = False) -> Generator[Any, Any, int]:
+        """Open (optionally creating) a file; returns the fd."""
+        yield from self._charge_syscall()
+        mount = self._mount
+        try:
+            vnode = yield from mount.namei(path)
+        except FileNotFoundError_:
+            if not create:
+                raise
+            vnode = yield from mount.create(path)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._files[fd] = _OpenFile(vnode)
+        return fd
+
+    def creat(self, path: str) -> Generator[Any, Any, int]:
+        return (yield from self.open(path, create=True))
+
+    def close(self, fd: int) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        self._file(fd)
+        del self._files[fd]
+
+    # -- I/O --------------------------------------------------------------------
+    def read(self, fd: int, count: int) -> Generator[Any, Any, bytes]:
+        """Read ``count`` bytes at the fd's offset (short at EOF)."""
+        yield from self._charge_syscall()
+        f = self._file(fd)
+        data = yield from f.vnode.rdwr(RW.READ, f.offset, count)
+        assert isinstance(data, bytes)
+        f.offset += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes) -> Generator[Any, Any, int]:
+        """Write at the fd's offset; returns bytes written."""
+        yield from self._charge_syscall()
+        f = self._file(fd)
+        n = yield from f.vnode.rdwr(RW.WRITE, f.offset, data)
+        assert isinstance(n, int)
+        f.offset += n
+        return n
+
+    def pread(self, fd: int, count: int, offset: int) -> Generator[Any, Any, bytes]:
+        yield from self.lseek(fd, offset, SEEK_SET)
+        return (yield from self.read(fd, count))
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> Generator[Any, Any, int]:
+        yield from self.lseek(fd, offset, SEEK_SET)
+        return (yield from self.write(fd, data))
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET
+              ) -> Generator[Any, Any, int]:
+        f = self._file(fd)
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = f.offset + offset
+        elif whence == SEEK_END:
+            new = f.vnode.size + offset
+        else:
+            raise InvalidArgumentError(f"bad whence {whence}")
+        if new < 0:
+            raise InvalidArgumentError("negative file offset")
+        f.offset = new
+        return new
+        yield  # pragma: no cover - lseek does no I/O but stays a generator
+
+    def fsync(self, fd: int) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        f = self._file(fd)
+        yield from f.vnode.fsync()
+
+    def mmap(self, fd: int, length: int, offset: int = 0,
+             writable: bool = False):
+        """Map [offset, offset+length) of the file; returns the Segment."""
+        f = self._file(fd)
+        return self.addrspace.map(f.vnode, length, offset, writable)
+
+    def munmap(self, segment) -> Generator[Any, Any, None]:
+        """Remove a mapping, flushing mapped writes."""
+        yield from self._charge_syscall()
+        yield from self.addrspace.unmap(segment)
+
+    def msync(self, segment) -> Generator[Any, Any, None]:
+        """Flush a mapping's dirty pages synchronously."""
+        yield from self._charge_syscall()
+        yield from self.addrspace.msync(segment)
+
+    def mem_read(self, addr: int, count: int) -> Generator[Any, Any, bytes]:
+        """A load through the address space (faults pages in)."""
+        return (yield from self.addrspace.read(addr, count))
+
+    def mem_write(self, addr: int, data: bytes) -> Generator[Any, Any, int]:
+        """A store through the address space (write faults)."""
+        return (yield from self.addrspace.write(addr, data))
+
+    def mmap_read(self, fd: int, offset: int, length: int
+                  ) -> Generator[Any, Any, int]:
+        """Touch every page of [offset, offset+length) through the fault
+        path, without copying to a user buffer (the figure 12 benchmark).
+
+        Returns the number of pages touched.
+        """
+        yield from self._charge_syscall()
+        f = self._file(fd)
+        psize = self.system.pagecache.page_size
+        if offset % psize:
+            raise InvalidArgumentError("mmap offset must be page aligned")
+        length = min(length, f.vnode.size - offset)
+        segment = self.addrspace.map(f.vnode, length, offset)
+        touched = 0
+        addr = segment.base
+        while addr < segment.end:
+            yield from self.addrspace.fault(addr, RW.READ)
+            touched += 1
+            addr += psize
+        yield from self.addrspace.unmap(segment)
+        return touched
+
+    # -- namespace operations ------------------------------------------------------
+    def link(self, existing: str, new_path: str) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        yield from self._mount.link(existing, new_path)
+
+    def symlink(self, target: str, link_path: str) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        yield from self._mount.symlink(target, link_path)
+
+    def readlink(self, path: str) -> Generator[Any, Any, str]:
+        yield from self._charge_syscall()
+        return (yield from self._mount.readlink(path))
+
+    def unlink(self, path: str) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        yield from self._mount.unlink(path)
+
+    def mkdir(self, path: str) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        yield from self._mount.mkdir(path)
+
+    def rmdir(self, path: str) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        yield from self._mount.rmdir(path)
+
+    def readdir(self, path: str) -> Generator[Any, Any, list[tuple[str, int]]]:
+        yield from self._charge_syscall()
+        return (yield from self._mount.readdir(path))
+
+    def stat_size(self, path: str) -> Generator[Any, Any, int]:
+        yield from self._charge_syscall()
+        vn = yield from self._mount.namei(path)
+        return vn.size

@@ -1,0 +1,99 @@
+"""The simulated machine: engine + CPU + disk + VM + file system."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.cpu import Cpu
+from repro.disk.disk import RotationalDisk
+from repro.disk.driver import DiskDriver
+from repro.disk.store import DiskStore
+from repro.kernel.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.ufs.mkfs import mkfs
+from repro.ufs.mount import UfsMount
+from repro.ufs.params import FsParams
+from repro.vfs.specfs import RawDiskVnode
+from repro.vm.pagecache import PageCache
+from repro.vm.pageout import PageoutDaemon, PageoutParams
+
+
+class System:
+    """A booted machine: build, mkfs, mount, and run workloads."""
+
+    def __init__(self, config: SystemConfig | None = None,
+                 engine: Engine | None = None):
+        """``engine`` lets several machines (e.g. an NFS client and server)
+        share one simulated world."""
+        self.config = config if config is not None else SystemConfig()
+        cfg = self.config
+        self.engine = engine if engine is not None else Engine()
+        self.cpu = Cpu(self.engine, cfg.costs)
+        self.tracer = Tracer(self.engine)
+        self.store = DiskStore(cfg.geometry.total_sectors,
+                               cfg.geometry.sector_size)
+        self.disk = RotationalDisk(self.engine, cfg.geometry, self.store,
+                                   track_buffer=cfg.track_buffer)
+        self.driver = DiskDriver(self.engine, self.disk, cpu=self.cpu,
+                                 use_disksort=cfg.use_disksort,
+                                 coalesce=cfg.driver_coalesce)
+        reserved_pages = cfg.reserved_memory_bytes // cfg.page_size
+        self.pagecache = PageCache(self.engine, cfg.memory_bytes,
+                                   page_size=cfg.page_size,
+                                   reserved_pages=reserved_pages)
+        self.pageout = PageoutDaemon(
+            self.engine, self.pagecache, self.cpu,
+            PageoutParams.for_memory(self.pagecache.total_pages),
+        )
+        self.mount: UfsMount | None = None
+        self.raw_disk = RawDiskVnode(self.engine, self.driver, self.cpu)
+
+    # -- setup -------------------------------------------------------------
+    def mkfs(self, params: FsParams | None = None):
+        """Build the file system (offline; no simulated time)."""
+        return mkfs(self.store, self.config.geometry,
+                    params if params is not None else self.config.fs_params)
+
+    def mount_fs(self) -> Generator[Any, Any, UfsMount]:
+        """Mount the file system (reads the root inode)."""
+        self.mount = UfsMount(
+            self.engine, self.cpu, self.driver, self.pagecache,
+            tuning=self.config.tuning, tracer=self.tracer,
+            metacache_blocks=self.config.metacache_blocks,
+            ordered_metadata=self.config.ordered_metadata,
+        )
+        yield from self.mount.activate()
+        return self.mount
+
+    @classmethod
+    def booted(cls, config: SystemConfig | None = None) -> "System":
+        """Build + mkfs + mount in one step (runs the engine briefly)."""
+        system = cls(config)
+        system.mkfs()
+        system.run(system.mount_fs())
+        return system
+
+    # -- running workloads -----------------------------------------------------
+    def run(self, gen: Generator, name: str = "workload") -> Any:
+        """Run one generator to completion on the engine."""
+        return self.engine.run_process(gen, name=name)
+
+    def run_all(self, gens: "list[Generator]") -> list[Any]:
+        """Run several generators concurrently; returns their results."""
+        procs = [self.engine.process(g, name=f"workload{i}")
+                 for i, g in enumerate(gens)]
+        self.engine.run()
+        missing = [p for p in procs if not p.triggered]
+        if missing:
+            raise RuntimeError(f"{len(missing)} workload(s) deadlocked")
+        return [p.value for p in procs]
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def sync(self) -> None:
+        """Flush everything (runs the engine)."""
+        if self.mount is not None:
+            self.run(self.mount.sync(), name="sync")

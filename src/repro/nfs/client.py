@@ -1,0 +1,273 @@
+"""The NFS client: a vnode type whose backing store is across the wire.
+
+``NfsVnode`` implements the same three entry points as UFS — rdwr,
+getpage, putpage — which is the entire point of the vnode architecture:
+"the main body of the kernel ... manipulate[s] a file system without
+knowing the details of how it is implemented."
+
+Pages live in the *client's* unified page cache, named by the NFS vnode,
+exactly as figure 1 draws ``libc.so``.  A biod-style daemon effect is
+modelled inline: sequential reads trigger one-block read-ahead RPCs, and
+writes are issued write-behind with a bounded number outstanding.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.core import ReadAheadState, WriteThrottle
+from repro.errors import InvalidArgumentError
+from repro.nfs.net import Network
+from repro.nfs.server import NfsServer, RPC_HEADER
+from repro.sim.stats import StatSet
+from repro.units import KB
+from repro.vfs.vnode import PutFlags, RW, Vfs, Vnode, VnodeType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu import Cpu
+    from repro.sim.engine import Engine
+    from repro.vm.page import Page
+    from repro.vm.pagecache import PageCache
+
+#: NFSv2 maximum transfer size.
+NFS_MAXDATA = 8 * KB
+
+
+class NfsMount(Vfs):
+    """A client-side mount of a remote server."""
+
+    def __init__(self, engine: "Engine", cpu: "Cpu", pagecache: "PageCache",
+                 network: Network, server: NfsServer,
+                 write_behind_limit: int = 64 * KB, name: str = "nfs0"):
+        super().__init__(name)
+        self.engine = engine
+        self.cpu = cpu
+        self.pagecache = pagecache
+        self.network = network
+        self.server = server
+        self.write_behind_limit = write_behind_limit
+        self.stats = StatSet(name)
+        self._vnodes: dict[int, "NfsVnode"] = {}
+        self._root: "NfsVnode | None" = None
+
+    @property
+    def root(self) -> "NfsVnode":
+        if self._root is None:
+            raise RuntimeError("call mount.activate() (a process) first")
+        return self._root
+
+    def activate(self) -> Generator[Any, Any, "NfsMount"]:
+        handle, size = yield from self.rpc("LOOKUP", path="/")
+        self._root = self._vnode_for(handle, size, VnodeType.DIRECTORY)
+        return self
+
+    # -- RPC plumbing ---------------------------------------------------------
+    def rpc(self, op: str, request_bytes: int = RPC_HEADER,
+            **args: Any) -> Generator[Any, Any, Any]:
+        """One remote procedure call: request out, handler, reply back."""
+        self.stats.incr("rpcs")
+        self.stats.incr(f"rpc_{op.lower()}")
+        yield from self.cpu.work("nfs_client", self.cpu.costs.syscall)
+        yield from self.network.send_to_server(request_bytes)
+        result = yield from self.server.call(op, **args)
+        yield from self.network.send_to_client(result.wire_bytes)
+        return result.value
+
+    # -- namespace ---------------------------------------------------------------
+    def _vnode_for(self, handle: int, size: int,
+                   vtype: VnodeType = VnodeType.REGULAR) -> "NfsVnode":
+        vn = self._vnodes.get(handle)
+        if vn is None:
+            vn = NfsVnode(self, handle, size, vtype)
+            self._vnodes[handle] = vn
+        else:
+            vn.remote_size = max(vn.remote_size, size)
+        return vn
+
+    def open(self, path: str, create: bool = False
+             ) -> Generator[Any, Any, "NfsVnode"]:
+        """LOOKUP (or CREATE) a remote file; returns its vnode."""
+        op = "CREATE" if create else "LOOKUP"
+        request = RPC_HEADER + len(path)
+        handle, size = yield from self.rpc(op, request_bytes=request,
+                                           path=path)
+        return self._vnode_for(handle, size)
+
+
+class NfsVnode(Vnode):
+    """A remote file, cached page by page on the client."""
+
+    def __init__(self, mount: NfsMount, handle: int, size: int,
+                 vtype: VnodeType = VnodeType.REGULAR):
+        super().__init__(vtype)
+        self.mount = mount
+        self.handle = handle
+        self.remote_size = size
+        self.readahead = ReadAheadState()
+        self.throttle = WriteThrottle(mount.engine,
+                                      mount.write_behind_limit)
+
+    @property
+    def size(self) -> int:
+        return self.remote_size
+
+    # -- pages ------------------------------------------------------------------
+    def _grab_page(self, offset: int) -> Generator[Any, Any, "Page"]:
+        pc = self.mount.pagecache
+        while True:
+            page = pc.allocate(self, offset)
+            if page is not None:
+                return page
+            yield from pc.wait_for_memory()
+
+    def _fetch_page(self, offset: int) -> Generator[Any, Any, "Page"]:
+        """READ one page from the server into the client cache."""
+        pc = self.mount.pagecache
+        page = pc.lookup(self, offset)
+        if page is not None:
+            if page.locked and not page.valid:
+                yield from page.wait_unlocked()
+                return (yield from self._fetch_page(offset))
+            if page.valid:
+                self.mount.stats.incr("cache_hits")
+                return page
+        page = yield from self._grab_page(offset)
+        count = min(NFS_MAXDATA, max(0, self.remote_size - offset))
+        if count == 0:
+            page.zero()
+        else:
+            data = yield from self.mount.rpc(
+                "READ", handle=self.handle, offset=offset, count=count,
+            )
+            page.fill(data)
+        page.valid = True
+        page.unlock()
+        self.mount.stats.incr("remote_reads")
+        return page
+
+    def getpage(self, offset: int, rw: RW = RW.READ
+                ) -> Generator[Any, Any, "Page"]:
+        psize = self.mount.pagecache.page_size
+        if offset % psize:
+            raise InvalidArgumentError("offset not page aligned")
+        action = self.readahead.observe(offset, psize, cached=False,
+                                        readahead_enabled=False)
+        page = yield from self._fetch_page(offset)
+        page.referenced = True
+        return page
+
+    def putpage(self, offset: int, length: int, flags: PutFlags
+                ) -> Generator[Any, Any, None]:
+        """Write dirty pages back over the wire (stable on the server)."""
+        pc = self.mount.pagecache
+        psize = pc.page_size
+        for page in pc.vnode_pages(self):
+            if not (offset <= page.offset < offset + length):
+                continue
+            if not page.dirty or page.locked:
+                continue
+            page.lock()
+            count = min(psize, self.remote_size - page.offset)
+            if count <= 0:
+                page.dirty = False
+                page.unlock()
+                continue
+            data = bytes(page.data[:count])
+            yield from self.mount.rpc(
+                "WRITE", request_bytes=RPC_HEADER + len(data),
+                handle=self.handle, offset=page.offset, data=data,
+            )
+            page.dirty = False
+            page.unlock()
+            self.mount.stats.incr("remote_writes")
+
+    # -- rdwr ----------------------------------------------------------------------
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int"
+             ) -> Generator[Any, Any, "bytes | int"]:
+        if rw is RW.READ:
+            return (yield from self._read(offset, int(payload)))
+        return (yield from self._write(offset, bytes(payload)))  # type: ignore[arg-type]
+
+    def _read(self, offset: int, count: int) -> Generator[Any, Any, bytes]:
+        cpu = self.mount.cpu
+        psize = self.mount.pagecache.page_size
+        if offset >= self.remote_size:
+            return b""
+        count = min(count, self.remote_size - offset)
+        parts: list[bytes] = []
+        remaining = count
+        while remaining > 0:
+            page_off = (offset // psize) * psize
+            chunk = min(psize - (offset - page_off), remaining)
+            action = self.readahead.observe(offset=page_off,
+                                            page_size=psize, cached=False)
+            # biod: asynchronous read-ahead daemons run ahead of the
+            # consumer on sequential access.
+            if action.sequential:
+                for ahead in (1, 2, 3):
+                    next_off = page_off + ahead * psize
+                    if next_off >= self.remote_size:
+                        break
+                    if self.mount.pagecache.lookup(self, next_off) is None:
+                        proc = self.mount.engine.process(
+                            self._fetch_page(next_off), name="biod-read")
+                        proc.add_callback(lambda _ev: None)
+            page = yield from self._fetch_page(page_off)
+            yield from cpu.copy("copyout", chunk)
+            parts.append(bytes(page.data[offset - page_off:
+                                         offset - page_off + chunk]))
+            offset += chunk
+            remaining -= chunk
+        return b"".join(parts)
+
+    def _write(self, offset: int, data: bytes) -> Generator[Any, Any, int]:
+        """Write-behind: pages go dirty locally, pushed with a bounded
+        number of bytes outstanding (the biod pool's depth)."""
+        cpu = self.mount.cpu
+        pc = self.mount.pagecache
+        psize = pc.page_size
+        written = 0
+        while written < len(data):
+            page_off = ((offset + written) // psize) * psize
+            in_page = (offset + written) - page_off
+            chunk = min(psize - in_page, len(data) - written)
+            page = pc.lookup(self, page_off)
+            if page is None:
+                if in_page == 0 and chunk >= min(
+                        psize, max(self.remote_size, offset + len(data))
+                        - page_off):
+                    page = yield from self._grab_page(page_off)
+                    page.zero()
+                    page.valid = True
+                    page.unlock()
+                else:
+                    page = yield from self._fetch_page(page_off)
+            yield from page.lock_wait()
+            yield from cpu.copy("copyin", chunk)
+            page.data[in_page:in_page + chunk] = data[written:written + chunk]
+            page.dirty = True
+            page.valid = True
+            page.unlock()
+            self.remote_size = max(self.remote_size,
+                                   offset + written + chunk)
+            written += chunk
+            # Push the page write-behind, throttled.
+            self.throttle.take(psize)
+            proc_done = self.mount.engine.process(
+                self._push_one(page_off), name="biod-write",
+            )
+            proc_done.add_callback(lambda _ev: None)
+            yield from self.throttle.wait_ok()
+        return written
+
+    def _push_one(self, page_off: int) -> Generator[Any, Any, None]:
+        try:
+            yield from self.putpage(page_off,
+                                    self.mount.pagecache.page_size,
+                                    PutFlags(async_=True))
+        finally:
+            self.throttle.credit(self.mount.pagecache.page_size)
+
+    def fsync(self) -> Generator[Any, Any, None]:
+        yield from self.putpage(0, max(self.remote_size, 1), PutFlags())
+        yield from self.mount.rpc("COMMIT", handle=self.handle)

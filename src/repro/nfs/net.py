@@ -1,0 +1,63 @@
+"""A simulated local-area network (1991 flavour).
+
+One shared medium per direction, modelled as a FIFO resource: a transfer
+occupies its direction for ``size / bandwidth`` seconds after a fixed
+per-message latency (interface + protocol stack).  10 Mbit/s Ethernet
+moves ~1.2 MB/s — notably *slower* than the paper's disk after
+clustering, which is exactly the regime the NFS benchmark explores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.resources import Resource
+from repro.sim.stats import StatSet
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+#: 10 Mbit/s Ethernet, as bytes/second.
+ETHERNET_10MBIT = 10_000_000 / 8
+
+
+class Network:
+    """A bidirectional link between one client and one server."""
+
+    def __init__(self, engine: "Engine", bandwidth: float = ETHERNET_10MBIT,
+                 latency: float = 1.0 * MS):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._to_server = Resource(engine, capacity=1, name="net.up")
+        self._to_client = Resource(engine, capacity=1, name="net.down")
+        self.stats = StatSet("network")
+
+    def _transfer(self, direction: Resource, nbytes: int
+                  ) -> Generator[Any, Any, None]:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        wire_time = nbytes / self.bandwidth
+        yield from direction.use(wire_time)
+        if self.latency > 0:
+            yield self.engine.timeout(self.latency)
+        self.stats.incr("messages")
+        self.stats.incr("bytes", nbytes)
+
+    def send_to_server(self, nbytes: int) -> Generator[Any, Any, None]:
+        """Occupy the client->server direction for ``nbytes``."""
+        yield from self._transfer(self._to_server, nbytes)
+
+    def send_to_client(self, nbytes: int) -> Generator[Any, Any, None]:
+        """Occupy the server->client direction for ``nbytes``."""
+        yield from self._transfer(self._to_client, nbytes)
+
+    def utilization(self) -> float:
+        """Busier direction's utilisation since t=0."""
+        return max(self._to_server.utilization(),
+                   self._to_client.utilization())

@@ -1,0 +1,106 @@
+"""The NFS server: stateless v2-style handlers over a server-side UFS.
+
+Each RPC names the file by handle (its inode number); the server holds no
+per-client state ("the beauty of NFS").  WRITEs are committed to stable
+storage before the reply, v2-style — which makes remote writes painfully
+synchronous and is half the reason biod write-behind exists on the client.
+
+The server is its own "machine": its own CPU and its own disk stack; only
+the network couples it to the client.  ``nfsd_threads`` requests are
+served concurrently, as the real nfsd pool did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import FileNotFoundError_
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+from repro.sim.stats import StatSet
+from repro.units import US
+from repro.vfs.vnode import PutFlags, RW
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.ufs.mount import UfsMount
+
+#: Approximate on-the-wire size of an RPC header (v2 + UDP + IP).
+RPC_HEADER = 128
+
+
+@dataclass
+class RpcResult:
+    """What a handler returns: payload plus its wire size."""
+
+    value: Any
+    wire_bytes: int = RPC_HEADER
+
+
+class NfsServer:
+    """Serves LOOKUP/GETATTR/READ/WRITE/CREATE/COMMIT on a UfsMount."""
+
+    def __init__(self, engine: "Engine", mount: "UfsMount",
+                 nfsd_threads: int = 2, per_rpc_cpu: float = 300 * US):
+        self.engine = engine
+        self.mount = mount
+        self.per_rpc_cpu = per_rpc_cpu
+        self._nfsds = Resource(engine, capacity=nfsd_threads, name="nfsd")
+        self.stats = StatSet("nfsd")
+
+    # -- dispatch -----------------------------------------------------------
+    def call(self, op: str, **args: Any) -> Generator[Any, Any, RpcResult]:
+        """Run one RPC through the nfsd pool; returns the result."""
+        yield self._nfsds.acquire()
+        try:
+            yield from self.mount.cpu.work("nfsd", self.per_rpc_cpu)
+            handler = getattr(self, f"_op_{op.lower()}", None)
+            if handler is None:
+                raise ValueError(f"unknown NFS op {op!r}")
+            result = yield from handler(**args)
+            self.stats.incr(op.lower())
+            return result
+        finally:
+            self._nfsds.release()
+
+    # -- handlers ---------------------------------------------------------------
+    def _op_lookup(self, path: str) -> Generator[Any, Any, RpcResult]:
+        """Path -> file handle (inode number) + size."""
+        vn = yield from self.mount.namei(path)
+        return RpcResult((vn.inode.ino, vn.size))
+
+    def _op_create(self, path: str) -> Generator[Any, Any, RpcResult]:
+        try:
+            vn = yield from self.mount.namei(path)
+        except FileNotFoundError_:
+            vn = yield from self.mount.create(path)
+        return RpcResult((vn.inode.ino, vn.size))
+
+    def _op_getattr(self, handle: int) -> Generator[Any, Any, RpcResult]:
+        vn = yield from self.mount.iget(handle)
+        return RpcResult(vn.size)
+
+    def _op_read(self, handle: int, offset: int, count: int
+                 ) -> Generator[Any, Any, RpcResult]:
+        vn = yield from self.mount.iget(handle)
+        data = yield from vn.rdwr(RW.READ, offset, count)
+        assert isinstance(data, bytes)
+        return RpcResult(data, wire_bytes=RPC_HEADER + len(data))
+
+    def _op_write(self, handle: int, offset: int, data: bytes
+                  ) -> Generator[Any, Any, RpcResult]:
+        """v2 semantics: stable before the reply."""
+        vn = yield from self.mount.iget(handle)
+        n = yield from vn.rdwr(RW.WRITE, offset, data)
+        # Commit this write's pages before replying.
+        psize = self.mount.pagecache.page_size
+        start = (offset // psize) * psize
+        length = offset + len(data) - start
+        yield from vn.putpage(start, length, PutFlags())
+        return RpcResult(n)
+
+    def _op_commit(self, handle: int) -> Generator[Any, Any, RpcResult]:
+        vn = yield from self.mount.iget(handle)
+        yield from vn.fsync()
+        return RpcResult(None)

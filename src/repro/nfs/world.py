@@ -1,0 +1,38 @@
+"""Convenience builder: one simulated world with a client and a server."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.config import SystemConfig
+from repro.kernel.system import System
+from repro.nfs.client import NfsMount
+from repro.nfs.net import ETHERNET_10MBIT, Network
+from repro.nfs.server import NfsServer
+from repro.units import MS
+
+
+def build_world(server_config: SystemConfig | None = None,
+                client_config: SystemConfig | None = None,
+                bandwidth: float = ETHERNET_10MBIT,
+                latency: float = 1.0 * MS,
+                nfsd_threads: int = 2):
+    """Boot a server machine (with a UFS) and a diskless-ish client machine
+    on one engine, joined by a network; returns
+    ``(client_system, server_system, nfs_mount)``.
+    """
+    server_system = System.booted(
+        server_config if server_config is not None else SystemConfig.config_a()
+    )
+    client_system = System(
+        client_config if client_config is not None else SystemConfig(name="client"),
+        engine=server_system.engine,
+    )
+    network = Network(server_system.engine, bandwidth=bandwidth,
+                      latency=latency)
+    server = NfsServer(server_system.engine, server_system.mount,
+                       nfsd_threads=nfsd_threads)
+    mount = NfsMount(server_system.engine, client_system.cpu,
+                     client_system.pagecache, network, server)
+    client_system.run(mount.activate(), name="nfs-mount")
+    return client_system, server_system, mount

@@ -1,0 +1,192 @@
+"""The old-style fixed buffer cache (bread / bwrite / bdwrite / breada).
+
+This is the pre-SunOS-VM world the paper contrasts with: "Older UNIX
+variants confined I/O pages to a small buffer cache."  A fixed number of
+``bsize`` buffers, LRU replacement, delayed writes flushed on eviction or
+sync.  Peacock's ``mbread`` (multi-block read) lives here too: when asked,
+it reads a run of physically contiguous blocks in one request and installs
+each block in its own buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.disk.buf import Buf, BufOp
+from repro.sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu import Cpu
+    from repro.disk.driver import DiskDriver
+    from repro.sim.engine import Engine
+
+
+class CacheBuf:
+    """One buffer: a block's worth of data plus state."""
+
+    __slots__ = ("blkno", "data", "dirty")
+
+    def __init__(self, blkno: int, data: bytearray):
+        self.blkno = blkno
+        self.data = data
+        self.dirty = False
+
+
+class BufferCache:
+    """A fixed pool of single-block buffers with LRU replacement."""
+
+    def __init__(self, engine: "Engine", driver: "DiskDriver", cpu: "Cpu",
+                 bsize: int, nbufs: int = 64):
+        if nbufs <= 0:
+            raise ValueError("nbufs must be positive")
+        if bsize % 512:
+            raise ValueError("bsize must be a multiple of the sector size")
+        self.engine = engine
+        self.driver = driver
+        self.cpu = cpu
+        self.bsize = bsize
+        self.nbufs = nbufs
+        self._bufs: OrderedDict[int, CacheBuf] = OrderedDict()
+        self.stats = StatSet("bufcache")
+
+    def _sectors(self, blkno: int) -> tuple[int, int]:
+        per_block = self.bsize // 512
+        return blkno * per_block, per_block
+
+    def contains(self, blkno: int) -> bool:
+        """True if the block is cached (no LRU side effects)."""
+        return blkno in self._bufs
+
+    # -- core operations ------------------------------------------------------
+    def getblk(self, blkno: int) -> Generator[Any, Any, CacheBuf]:
+        """A buffer for ``blkno`` without reading it (contents undefined if
+        not cached)."""
+        cached = self._bufs.get(blkno)
+        if cached is not None:
+            self._bufs.move_to_end(blkno)
+            return cached
+        buf = CacheBuf(blkno, bytearray(self.bsize))
+        yield from self._make_room()
+        self._bufs[blkno] = buf
+        return buf
+
+    def bread(self, blkno: int) -> Generator[Any, Any, CacheBuf]:
+        """Read a block through the cache (synchronous on a miss)."""
+        cached = self._bufs.get(blkno)
+        if cached is not None:
+            self._bufs.move_to_end(blkno)
+            self.stats.incr("hits")
+            return cached
+        self.stats.incr("misses")
+        sector, nsectors = self._sectors(blkno)
+        io = Buf(self.engine, BufOp.READ, sector, nsectors)
+        yield from self.cpu.work("driver", self.cpu.costs.driver_strategy)
+        self.driver.strategy(io)
+        yield io.done
+        assert io.data is not None
+        buf = CacheBuf(blkno, bytearray(io.data))
+        yield from self._make_room()
+        self._bufs[blkno] = buf
+        return buf
+
+    def mbread(self, blknos: list[int]) -> Generator[Any, Any, list[CacheBuf]]:
+        """Peacock's multi-block read: ``blknos`` must be physically
+        consecutive; uncached suffixes are fetched in one request."""
+        if not blknos:
+            raise ValueError("mbread needs at least one block")
+        for a, b in zip(blknos, blknos[1:]):
+            if b != a + 1:
+                raise ValueError("mbread blocks must be consecutive")
+        missing = [b for b in blknos if b not in self._bufs]
+        results: dict[int, CacheBuf] = {}
+        if missing:
+            # Read the whole consecutive span covering the missing blocks.
+            first, last = missing[0], missing[-1]
+            sector, per_block = self._sectors(first)
+            nsectors = (last - first + 1) * per_block
+            io = Buf(self.engine, BufOp.READ, sector, nsectors)
+            yield from self.cpu.work("driver", self.cpu.costs.driver_strategy)
+            self.driver.strategy(io)
+            yield io.done
+            assert io.data is not None
+            self.stats.incr("mbreads")
+            for blkno in range(first, last + 1):
+                if blkno in self._bufs:
+                    continue
+                lo = (blkno - first) * self.bsize
+                buf = CacheBuf(blkno, bytearray(io.data[lo:lo + self.bsize]))
+                yield from self._make_room()
+                self._bufs[blkno] = buf
+        for blkno in blknos:
+            buf = self._bufs[blkno]
+            self._bufs.move_to_end(blkno)
+            results[blkno] = buf
+        return [results[b] for b in blknos]
+
+    def bdwrite(self, buf: CacheBuf) -> None:
+        """Delayed write: flushed on eviction or sync."""
+        buf.dirty = True
+        self.stats.incr("delayed_writes")
+
+    def bwrite(self, buf: CacheBuf) -> Generator[Any, Any, None]:
+        """Synchronous write."""
+        yield from self._push(buf, wait=True)
+        self.stats.incr("sync_writes")
+
+    def bawrite(self, buf: CacheBuf) -> Generator[Any, Any, None]:
+        """Asynchronous write."""
+        yield from self._push(buf, wait=False)
+        self.stats.incr("async_writes")
+
+    def mbwrite(self, bufs: list[CacheBuf]) -> Generator[Any, Any, None]:
+        """Write consecutive dirty buffers as one request (asynchronous)."""
+        if not bufs:
+            return
+        for a, b in zip(bufs, bufs[1:]):
+            if b.blkno != a.blkno + 1:
+                raise ValueError("mbwrite blocks must be consecutive")
+        data = b"".join(bytes(b.data) for b in bufs)
+        sector, _ = self._sectors(bufs[0].blkno)
+        io = Buf(self.engine, BufOp.WRITE, sector, len(data) // 512,
+                 data=data, async_=True)
+        for b in bufs:
+            b.dirty = False
+        yield from self.cpu.work("driver", self.cpu.costs.driver_strategy)
+        self.driver.strategy(io)
+        self.stats.incr("mbwrites")
+
+    def sync(self) -> Generator[Any, Any, int]:
+        """Flush all dirty buffers; returns how many were written."""
+        flushed = 0
+        for buf in [b for b in self._bufs.values() if b.dirty]:
+            yield from self._push(buf, wait=True)
+            flushed += 1
+        return flushed
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for b in self._bufs.values() if b.dirty)
+
+    def invalidate(self, blkno: int) -> None:
+        """Forget a block (freed); dirty contents are dead."""
+        self._bufs.pop(blkno, None)
+
+    # -- internals ------------------------------------------------------------------
+    def _make_room(self) -> Generator[Any, Any, None]:
+        while len(self._bufs) >= self.nbufs:
+            _, victim = next(iter(self._bufs.items()))
+            if victim.dirty:
+                self.stats.incr("eviction_writebacks")
+                yield from self._push(victim, wait=True)
+            self._bufs.pop(victim.blkno, None)
+
+    def _push(self, buf: CacheBuf, wait: bool) -> Generator[Any, Any, None]:
+        sector, _ = self._sectors(buf.blkno)
+        io = Buf(self.engine, BufOp.WRITE, sector, self.bsize // 512,
+                 data=bytes(buf.data), async_=not wait)
+        buf.dirty = False
+        yield from self.cpu.work("driver", self.cpu.costs.driver_strategy)
+        self.driver.strategy(io)
+        if wait:
+            yield io.done

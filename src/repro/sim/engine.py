@@ -1,0 +1,145 @@
+"""The deterministic discrete-event engine.
+
+The engine owns simulated time and an event heap of ``(time, seq, fn, arg)``
+entries.  Everything in the simulation — timeouts, event callbacks, process
+resumptions, disk interrupts — flows through this single heap, so runs are
+fully deterministic for a given seed and workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable
+
+from repro.sim.events import Event, Process, ProcessGen, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (not a modelled failure)."""
+
+
+class Engine:
+    """A discrete-event simulation engine with generator-based processes.
+
+    Example
+    -------
+    >>> eng = Engine()
+    >>> def hello():
+    ...     yield eng.timeout(1.5)
+    ...     return "done"
+    >>> proc = eng.process(hello())
+    >>> eng.run()
+    >>> eng.now, proc.value
+    (1.5, 'done')
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[Any], None], Any, bool]] = []
+        self._seq = count()
+        self._live = 0  # non-daemon heap entries
+        self._crashed: list[tuple[Process, BaseException]] = []
+        self._running = False
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling primitives --------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[Any], None], arg: Any = None,
+                 daemon: bool = False) -> None:
+        """Schedule ``fn(arg)`` to run ``delay`` seconds from now.
+
+        ``daemon=True`` marks an entry that must not keep the simulation
+        alive: :meth:`run` stops once only daemon entries remain (so
+        periodic background services like update(8) don't make run-to-idle
+        spin forever).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap,
+                       (self._now + delay, next(self._seq), fn, arg, daemon))
+        if not daemon:
+            self._live += 1
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None,
+                daemon: bool = False) -> Timeout:
+        """An event that triggers ``delay`` seconds from now.
+
+        A ``daemon`` timeout does not keep :meth:`run` alive on its own.
+        """
+        return Timeout(self, delay, value, daemon=daemon)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Spawn a process from a generator; it starts at the current time."""
+        return Process(self, gen, name=name)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next scheduled callback.  Returns False if idle."""
+        if not self._heap:
+            return False
+        when, _, fn, arg, daemon = heapq.heappop(self._heap)
+        assert when >= self._now, "event heap went backwards"
+        self._now = when
+        if not daemon:
+            self._live -= 1
+        fn(arg)
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        If a process crashed with an uncaught exception and nothing was
+        waiting on it, the exception is re-raised here — errors should never
+        pass silently.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while self._heap:
+                if until is None and self._live == 0:
+                    break  # only daemon housekeeping left: we are idle
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+                if self._crashed:
+                    proc, exc = self._crashed[0]
+                    self._crashed.clear()
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed at t={self._now:.6f}"
+                    ) from exc
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def run_process(self, gen: ProcessGen, name: str = "") -> Any:
+        """Spawn ``gen``, run to completion, and return its result.
+
+        A failure in the process re-raises its original exception here, so
+        modelled errors (ENOSPC and friends) reach the caller untouched.
+        """
+        proc = self.process(gen, name=name)
+        proc.add_callback(lambda _event: None)  # claim the crash, if any
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} deadlocked (heap drained)")
+        return proc.value
+
+    # -- internal ----------------------------------------------------------
+    def _process_crashed(self, proc: Process, exc: BaseException) -> None:
+        # Called for crashes with no waiter; run() re-raises these so that
+        # a buggy daemon process cannot fail silently.
+        self._crashed.append((proc, exc))

@@ -1,0 +1,175 @@
+"""Synchronisation primitives for simulation processes.
+
+These mirror the kernel primitives the paper's code depends on:
+
+* :class:`Semaphore` — counting semaphore with FIFO wakeup.  The per-file
+  write limit ("essentially a counting semaphore in the inode") is built on
+  this.
+* :class:`Resource` — a capacity-limited server (e.g. the CPU) with a
+  ``use(duration)`` helper for the common acquire/hold/release pattern.
+* :class:`Signal` — a broadcast condition (``sleep``/``wakeup`` in kernel
+  terms); every waiter present at :meth:`Signal.fire` is released.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Semaphore:
+    """A counting semaphore with strictly FIFO grant order.
+
+    Unlike a classic semaphore, ``acquire``/``release`` take an ``n`` so the
+    write-throttle can count bytes rather than operations.  The count may be
+    driven negative only through :meth:`take`, which models the paper's
+    "decrement then sleep if below zero" idiom.
+    """
+
+    def __init__(self, engine: "Engine", value: int, name: str = "sem"):
+        if value < 0:
+            raise ValueError("initial semaphore value must be >= 0")
+        self.engine = engine
+        self.name = name
+        self._value = value
+        self._waiters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def value(self) -> int:
+        """Current count (may be negative only transiently via take())."""
+        return self._value
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes blocked on this semaphore."""
+        return len(self._waiters)
+
+    def acquire(self, n: int = 1) -> Event:
+        """Return an event that triggers once ``n`` units are granted."""
+        if n <= 0:
+            raise ValueError("acquire count must be positive")
+        ev = Event(self.engine, name=f"{self.name}.acquire({n})")
+        self._waiters.append((ev, n))
+        self._grant()
+        return ev
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Non-blocking acquire; True on success."""
+        if not self._waiters and self._value >= n:
+            self._value -= n
+            return True
+        return False
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` units and wake FIFO waiters whose requests now fit."""
+        if n <= 0:
+            raise ValueError("release count must be positive")
+        self._value += n
+        self._grant()
+
+    def take(self, n: int) -> None:
+        """Unconditionally subtract ``n`` (the count may go negative).
+
+        Models the paper's write-limit accounting where the writer charges
+        bytes first and sleeps only if the count went negative.
+        """
+        self._value -= n
+
+    def _grant(self) -> None:
+        while self._waiters and self._value >= self._waiters[0][1]:
+            ev, n = self._waiters.popleft()
+            self._value -= n
+            ev.succeed()
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and FIFO queueing.
+
+    ``yield from resource.use(duration)`` acquires a slot, holds it for
+    ``duration`` simulated seconds, and releases it.  Total busy time is
+    accumulated in :attr:`busy_time` for utilisation reporting.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "resource"):
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._sem = Semaphore(engine, capacity, name=f"{name}.slots")
+        self.busy_time = 0.0
+        self.service_count = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self.capacity - self._sem.value
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a slot."""
+        return self._sem.waiting
+
+    def acquire(self) -> Event:
+        """Acquire one slot (event triggers when granted)."""
+        return self._sem.acquire(1)
+
+    def release(self) -> None:
+        """Release one slot."""
+        self._sem.release(1)
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire, hold for ``duration``, release.  Use with ``yield from``."""
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        yield self._sem.acquire(1)
+        try:
+            if duration > 0:
+                yield self.engine.timeout(duration)
+            self.busy_time += duration
+            self.service_count += 1
+        finally:
+            self._sem.release(1)
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time busy, relative to ``elapsed`` (default: now)."""
+        total = self.engine.now if elapsed is None else elapsed
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (total * self.capacity))
+
+
+class Signal:
+    """A broadcast condition variable (kernel ``sleep``/``wakeup``).
+
+    Each :meth:`wait` returns a fresh event; :meth:`fire` triggers every
+    event registered so far and resets the waiter list.
+    """
+
+    def __init__(self, engine: "Engine", name: str = "signal"):
+        self.engine = engine
+        self.name = name
+        self._waiters: list[Event] = []
+        self.fire_count = 0
+
+    @property
+    def waiting(self) -> int:
+        """Number of events waiting for the next fire()."""
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        """Return an event triggered by the next :meth:`fire`."""
+        ev = Event(self.engine, name=f"{self.name}.wait")
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+        self.fire_count += 1
+        return len(waiters)

@@ -1,0 +1,93 @@
+"""Lightweight statistics for simulation components.
+
+Every subsystem (disk, VM, UFS) exposes a :class:`StatSet` of named counters
+and accumulators; benchmarks read them to build the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class StatSet:
+    """A named bag of counters (ints) and accumulators (floats).
+
+    Counters and accumulators share a namespace; reading an absent name
+    yields zero, so callers never need to pre-register statistics.
+    """
+
+    def __init__(self, name: str = "stats"):
+        self.name = name
+        self._counts: dict[str, float] = defaultdict(float)
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``key``."""
+        self._counts[key] += amount
+
+    def __getitem__(self, key: str) -> float:
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain dict snapshot (sorted by key)."""
+        return {k: self._counts[k] for k in sorted(self._counts)}
+
+    def reset(self) -> None:
+        """Zero every statistic."""
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.as_dict().items())
+        return f"<StatSet {self.name}: {inner}>"
+
+
+class TimeWeighted:
+    """Tracks the time-weighted average of a piecewise-constant quantity.
+
+    Used for e.g. average disk queue depth and average free-memory level.
+    """
+
+    def __init__(self, engine: "Engine", initial: float = 0.0):
+        self.engine = engine
+        self._value = initial
+        self._last_change = engine.now
+        self._area = 0.0
+        self._start = engine.now
+        self.minimum = initial
+        self.maximum = initial
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record a change of the tracked quantity at the current time."""
+        now = self.engine.now
+        self._area += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the tracked quantity by ``delta``."""
+        self.set(self._value + delta)
+
+    def average(self) -> float:
+        """Time-weighted mean from creation until now."""
+        now = self.engine.now
+        total = now - self._start
+        if total <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_change)
+        return area / total

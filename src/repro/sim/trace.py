@@ -1,0 +1,83 @@
+"""Event tracing.
+
+The paper's figures 3, 6 and 7 are *traces*: the sequence of actions taken by
+``ufs_getpage``/``ufs_putpage`` as pages are faulted in order.  We reproduce
+them by recording tagged trace records and rendering them as the same style
+of per-page box diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: a time, a tag, and free-form fields."""
+
+    time: float
+    tag: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        inner = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time * 1e3:10.3f}ms] {self.tag} {inner}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by tag.
+
+    Tracing is off by default (``enabled=False``) so the hot paths pay only
+    one attribute check.
+    """
+
+    def __init__(self, engine: "Engine", enabled: bool = False):
+        self.engine = engine
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._tag_filter: set[str] | None = None
+
+    def limit_to(self, tags: Iterable[str] | None) -> None:
+        """Record only the given tags (None = record everything)."""
+        self._tag_filter = set(tags) if tags is not None else None
+
+    def emit(self, tag: str, **fields: Any) -> None:
+        """Record an occurrence at the current simulated time."""
+        if not self.enabled:
+            return
+        if self._tag_filter is not None and tag not in self._tag_filter:
+            return
+        self.records.append(TraceRecord(self.engine.now, tag, fields))
+
+    def clear(self) -> None:
+        """Drop all recorded history."""
+        self.records.clear()
+
+    def select(self, *tags: str) -> list[TraceRecord]:
+        """All records whose tag is one of ``tags``, in time order."""
+        wanted = set(tags)
+        return [r for r in self.records if r.tag in wanted]
+
+    def tags(self) -> list[str]:
+        """Tags in first-appearance order."""
+        seen: list[str] = []
+        for rec in self.records:
+            if rec.tag not in seen:
+                seen.append(rec.tag)
+        return seen
+
+    def render(self, predicate: Callable[[TraceRecord], bool] | None = None) -> str:
+        """Render matching records one per line (for logs and debugging)."""
+        records = self.records if predicate is None else [r for r in self.records if predicate(r)]
+        return "\n".join(rec.describe() for rec in records)

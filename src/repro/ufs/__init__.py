@@ -1,0 +1,43 @@
+"""UFS: Sun's UNIX file system (a Berkeley FFS derivative), with clustering.
+
+This package implements a real, byte-accurate-on-its-own-terms file system
+on the simulated disk:
+
+* an FFS-style on-disk format — superblock, cylinder groups with fragment
+  and inode bitmaps, 128-byte dinodes with direct/indirect/double-indirect
+  pointers, directories with variable-length entries (:mod:`ondisk`,
+  :mod:`mkfs`);
+* the FFS allocator with the rotational-layout policy (``rotdelay``,
+  ``maxcontig``), fragments for small files, a 10 % ``minfree`` reserve, and
+  cylinder-group spreading for directories (:mod:`alloc`);
+* ``bmap`` extended, as in the paper, to return the *contiguous length*
+  along with the physical address (:mod:`bmap`);
+* ``ufs_getpage`` / ``ufs_putpage`` / ``ufs_rdwr`` with the paper's read
+  clustering, write clustering, free-behind and write throttling
+  (:mod:`io`, driven by the policies in :mod:`repro.core`);
+* ``fsck``-style consistency checking (:mod:`fsck`).
+
+The on-disk format never changes with tuning — the paper's primary
+constraint.  Every clustering feature is a pure code-path change expressed
+through :class:`repro.core.ClusterTuning`.
+"""
+
+from repro.ufs.params import FsParams
+from repro.ufs.mkfs import mkfs
+from repro.ufs.mount import UfsMount
+from repro.ufs.fsck import FsckReport, fsck
+from repro.ufs.tunefs import tunefs
+from repro.ufs.dump import DumpArchive, DumpEntry, restore, ufsdump
+
+__all__ = [
+    "DumpArchive",
+    "DumpEntry",
+    "FsParams",
+    "FsckReport",
+    "UfsMount",
+    "fsck",
+    "mkfs",
+    "restore",
+    "tunefs",
+    "ufsdump",
+]

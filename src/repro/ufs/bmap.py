@@ -1,0 +1,259 @@
+"""bmap: logical block -> physical fragment translation.
+
+The paper's change: "bmap used to take a logical block number and return a
+physical block number.  We modified it to return a length as well...  The
+length returned is at most maxcontig blocks long and is used as the
+effective cluster size by the caller."
+
+``bmap_read`` implements exactly that.  ``bmap_alloc`` is the write-side
+translation-with-allocation, including indirect and double-indirect blocks
+and fragment handling for small-file tails.  A hole translates to address 0
+(fragment 0 is the boot block and never allocatable).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import InvalidArgumentError
+from repro.ufs.ondisk import NDADDR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ufs.inode import Inode
+    from repro.ufs.mount import UfsMount
+
+HOLE = 0
+
+
+def nindir(bsize: int) -> int:
+    """Pointers per indirect block."""
+    return bsize // 4
+
+
+def max_lbn(bsize: int) -> int:
+    """One past the largest addressable logical block."""
+    n = nindir(bsize)
+    return NDADDR + n + n * n
+
+
+def _charge(mount: "UfsMount", indirect: bool) -> Generator[Any, Any, None]:
+    costs = mount.cpu.costs
+    cost = costs.bmap + (costs.bmap_indirect if indirect else 0.0)
+    yield from mount.cpu.work("bmap", cost)
+
+
+def _read_ptr(mount: "UfsMount", addr_block: int, index: int
+              ) -> Generator[Any, Any, int]:
+    meta = yield from mount.metacache.bread(addr_block)
+    return struct.unpack_from("<I", meta.data, index * 4)[0]
+
+
+def _write_ptr(mount: "UfsMount", addr_block: int, index: int, value: int
+               ) -> Generator[Any, Any, None]:
+    meta = yield from mount.metacache.bread(addr_block)
+    struct.pack_into("<I", meta.data, index * 4, value)
+    mount.metacache.bdwrite(meta)
+
+
+def get_pointer(mount: "UfsMount", ip: "Inode", lbn: int
+                ) -> Generator[Any, Any, int]:
+    """The raw block pointer for ``lbn`` (0 = hole / unallocated)."""
+    if lbn < 0:
+        raise InvalidArgumentError(f"negative lbn {lbn}")
+    n = nindir(mount.sb.bsize)
+    if lbn < NDADDR:
+        return ip.direct[lbn]
+    lbn -= NDADDR
+    if lbn < n:
+        if ip.indirect == HOLE:
+            return HOLE
+        return (yield from _read_ptr(mount, ip.indirect, lbn))
+    lbn -= n
+    if lbn < n * n:
+        if ip.dindirect == HOLE:
+            return HOLE
+        outer = yield from _read_ptr(mount, ip.dindirect, lbn // n)
+        if outer == HOLE:
+            return HOLE
+        return (yield from _read_ptr(mount, outer, lbn % n))
+    raise InvalidArgumentError(f"lbn {lbn + NDADDR + n} beyond maximum file size")
+
+
+def set_pointer(mount: "UfsMount", ip: "Inode", lbn: int, value: int
+                ) -> Generator[Any, Any, None]:
+    """Install a block pointer, allocating indirect blocks as needed."""
+    if lbn < 0:
+        raise InvalidArgumentError(f"negative lbn {lbn}")
+    ip.invalidate_translations()
+    n = nindir(mount.sb.bsize)
+    if lbn < NDADDR:
+        ip.direct[lbn] = value
+        ip.mark_dirty()
+        return
+    lbn -= NDADDR
+    if lbn < n:
+        if ip.indirect == HOLE:
+            ip.indirect = yield from _alloc_meta_block(mount, ip)
+            ip.mark_dirty()
+        yield from _write_ptr(mount, ip.indirect, lbn, value)
+        return
+    lbn -= n
+    if lbn < n * n:
+        if ip.dindirect == HOLE:
+            ip.dindirect = yield from _alloc_meta_block(mount, ip)
+            ip.mark_dirty()
+        outer_index = lbn // n
+        outer = yield from _read_ptr(mount, ip.dindirect, outer_index)
+        if outer == HOLE:
+            outer = yield from _alloc_meta_block(mount, ip)
+            yield from _write_ptr(mount, ip.dindirect, outer_index, outer)
+        yield from _write_ptr(mount, outer, lbn % n, value)
+        return
+    raise InvalidArgumentError("lbn beyond maximum file size")
+
+
+def _alloc_meta_block(mount: "UfsMount", ip: "Inode") -> Generator[Any, Any, int]:
+    """Allocate and zero a block for pointers."""
+    pref = mount.allocator.blkpref(ip, 0, ip.direct[NDADDR - 1] or ip.direct[0])
+    addr = yield from mount.allocator.alloc_block(ip, pref)
+    yield from mount.metacache.install_new(addr)
+    meta = yield from mount.metacache.bread(addr)
+    mount.metacache.bdwrite(meta)
+    return addr
+
+
+def bmap_read(mount: "UfsMount", ip: "Inode", lbn: int, maxcontig: int
+              ) -> Generator[Any, Any, tuple[int, int]]:
+    """Translate ``lbn``; returns ``(fragment address, contiguous blocks)``.
+
+    The contiguous length is at most ``maxcontig`` blocks and at least 1
+    (when the block exists).  A hole returns ``(HOLE, 1)``.
+    """
+    if maxcontig < 1:
+        raise InvalidArgumentError("maxcontig must be >= 1")
+    sb = mount.sb
+    indirect = lbn >= NDADDR
+    if ip.bmap_cache is not None:
+        hit = ip.bmap_cache.lookup(lbn, sb.frag)
+        if hit is not None:
+            # The cached extent tuple answers without walking pointers:
+            # "a small cache in the inode could reduce the cost of bmap
+            # substantially".  Only a lookup's worth of CPU is charged.
+            yield from mount.cpu.work("bmap", mount.cpu.costs.bmap * 0.15)
+            addr, remaining = hit
+            return addr, min(remaining, maxcontig)
+    yield from _charge(mount, indirect)
+    addr = yield from get_pointer(mount, ip, lbn)
+    if addr == HOLE:
+        return HOLE, 1
+    length = 1
+    prev = addr
+    last_lbn = (ip.size - 1) // sb.bsize if ip.size > 0 else 0
+    while length < maxcontig and lbn + length <= last_lbn:
+        nxt = yield from get_pointer(mount, ip, lbn + length)
+        if nxt != prev + sb.frag:
+            break
+        # Only full blocks extend a cluster (a fragment tail ends it).
+        if ip.blksize(lbn + length) != sb.bsize:
+            break
+        prev = nxt
+        length += 1
+    if ip.bmap_cache is not None:
+        ip.bmap_cache.insert(lbn, addr, length)
+    return addr, length
+
+
+def bmap_alloc(mount: "UfsMount", ip: "Inode", lbn: int, frags_needed: int
+               ) -> Generator[Any, Any, int]:
+    """Ensure ``lbn`` is backed by at least ``frags_needed`` fragments;
+    returns the fragment address.
+
+    Grows a fragment tail in place (or moves it) when the file extends; the
+    caller holds the block's data in a dirty page, so no media copy is done
+    here.
+    """
+    sb = mount.sb
+    if not 1 <= frags_needed <= sb.frag:
+        raise InvalidArgumentError("frags_needed must be in [1, frag]")
+    indirect = lbn >= NDADDR
+    yield from _charge(mount, indirect)
+    existing = yield from get_pointer(mount, ip, lbn)
+    prev = 0
+    if lbn > 0:
+        prev = yield from get_pointer(mount, ip, lbn - 1)
+    # Fragments only make sense for direct-block tails.
+    if lbn >= NDADDR:
+        frags_needed = sb.frag
+    old_frags = 0
+    if existing != HOLE:
+        old_size = ip.blksize(lbn)
+        old_frags = old_size // sb.fsize
+        if old_frags >= frags_needed:
+            return existing
+        new_addr = yield from mount.allocator.realloc_frags(
+            ip, existing, old_frags, frags_needed,
+            mount.allocator.blkpref(ip, lbn, prev),
+        )
+        if new_addr != existing:
+            yield from set_pointer(mount, ip, lbn, new_addr)
+        else:
+            ip.invalidate_translations()
+        return new_addr
+    pref = mount.allocator.blkpref(ip, lbn, prev)
+    if frags_needed == sb.frag:
+        addr = yield from mount.allocator.alloc_block(ip, pref)
+    else:
+        addr = yield from mount.allocator.alloc_frags(ip, pref, frags_needed)
+    yield from set_pointer(mount, ip, lbn, addr)
+    return addr
+
+
+def truncate_blocks(mount: "UfsMount", ip: "Inode") -> Generator[Any, Any, int]:
+    """Free every block of the file (truncate to zero); returns frags freed.
+
+    Walks direct, indirect, and double-indirect pointers, returning data
+    blocks, pointer blocks, and the fragment tail to the allocator.
+    """
+    sb = mount.sb
+    freed = 0
+    last_lbn = (ip.size - 1) // sb.bsize if ip.size > 0 else -1
+    for lbn in range(min(last_lbn + 1, NDADDR)):
+        addr = ip.direct[lbn]
+        if addr == HOLE:
+            continue
+        nfrags = ip.blksize(lbn) // sb.fsize
+        mount.allocator.free_frags(ip, addr, nfrags)
+        freed += nfrags
+        ip.direct[lbn] = HOLE
+    n = nindir(sb.bsize)
+    if ip.indirect != HOLE:
+        freed += yield from _free_pointer_block(mount, ip, ip.indirect, depth=1)
+        ip.indirect = HOLE
+    if ip.dindirect != HOLE:
+        freed += yield from _free_pointer_block(mount, ip, ip.dindirect, depth=2)
+        ip.dindirect = HOLE
+    ip.size = 0
+    ip.invalidate_translations()
+    ip.mark_dirty()
+    return freed
+
+
+def _free_pointer_block(mount: "UfsMount", ip: "Inode", addr: int, depth: int
+                        ) -> Generator[Any, Any, int]:
+    sb = mount.sb
+    meta = yield from mount.metacache.bread(addr)
+    freed = 0
+    for i in range(nindir(sb.bsize)):
+        child = struct.unpack_from("<I", meta.data, i * 4)[0]
+        if child == HOLE:
+            continue
+        if depth > 1:
+            freed += yield from _free_pointer_block(mount, ip, child, depth - 1)
+        else:
+            mount.allocator.free_frags(ip, child, sb.frag)
+            freed += sb.frag
+    mount.metacache.drop(addr)
+    mount.allocator.free_frags(ip, addr, sb.frag)
+    freed += sb.frag
+    return freed

@@ -1,0 +1,338 @@
+"""fsck: offline consistency checking of the on-disk bytes.
+
+The paper's constraint — "a change in on-disk file system format would
+require changes to many system utilities, such as dump, restore, and fsck"
+— is only meaningful if such utilities exist.  This fsck re-reads the raw
+disk (never the in-memory mount state) and runs the classic phases:
+
+1. inodes: valid modes, sane sizes, block pointers in range, block/fragment
+   claims without duplicates, claimed counts matching ``di_blocks``;
+2. directory structure: reachable from the root, ``.``/``..`` correct,
+   entries pointing at allocated inodes;
+3. link counts: directory references vs ``di_nlink``;
+4. bitmaps and counters: claimed vs free agreement per cylinder group, and
+   superblock summary totals.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import CorruptionError
+from repro.ufs.ondisk import (
+    DINODE_SIZE, IFDIR, IFLNK, IFMT, IFREG, NDADDR, ROOT_INO, CylinderGroup,
+    Dinode, Superblock, iter_dirents,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.disk.store import DiskStore
+
+
+@dataclass
+class FsckReport:
+    """Findings from one fsck pass."""
+
+    findings: list[str] = field(default_factory=list)
+    inodes_checked: int = 0
+    directories_checked: int = 0
+    frags_claimed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def problem(self, text: str) -> None:
+        self.findings.append(text)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = "CLEAN" if self.clean else f"{len(self.findings)} PROBLEM(S)"
+        lines = [f"fsck: {status}; {self.inodes_checked} inodes, "
+                 f"{self.directories_checked} dirs, {self.frags_claimed} frags"]
+        lines.extend(f"  - {f}" for f in self.findings)
+        return "\n".join(lines)
+
+
+class _Checker:
+    def __init__(self, store: "DiskStore"):
+        self.store = store
+        self.report = FsckReport()
+        self.sb = Superblock.unpack(self._read_frags_raw(16, 16))
+        self.frag_sectors = self.sb.fsize // 512
+        self.claims: dict[int, int] = {}  # frag -> claiming inode
+        self.link_counts: dict[int, int] = {}  # ino -> references seen
+        self.inode_modes: dict[int, int] = {}
+
+    def _read_frags_raw(self, sector: int, nsectors: int) -> bytes:
+        return self.store.read(sector, nsectors)
+
+    def _read_frag_addr(self, frag_addr: int, nbytes: int) -> bytes:
+        nsectors = -(-nbytes // 512)
+        return self.store.read(frag_addr * self.frag_sectors, nsectors)
+
+    # -- phase 1: inodes and block claims -------------------------------------
+    def _claim(self, ino: int, frag_addr: int, nfrags: int) -> None:
+        sb = self.sb
+        for f in range(frag_addr, frag_addr + nfrags):
+            if f <= 0 or f >= sb.total_frags:
+                self.report.problem(
+                    f"inode {ino}: fragment {f} out of range"
+                )
+                return
+            prev = self.claims.get(f)
+            if prev is not None:
+                self.report.problem(
+                    f"fragment {f} claimed by inodes {prev} and {ino}"
+                )
+                continue
+            self.claims[f] = ino
+            self.report.frags_claimed += 1
+
+    def _read_dinode(self, ino: int) -> Dinode:
+        frag_addr, byte_off = self.sb.inode_location(ino)
+        block = self._read_frag_addr(frag_addr, self.sb.bsize)
+        return Dinode.unpack(block[byte_off:byte_off + DINODE_SIZE])
+
+    def _file_frags(self, din: Dinode, lbn: int) -> int:
+        """Fragments logical block ``lbn`` should hold, from the size."""
+        sb = self.sb
+        last = (din.size - 1) // sb.bsize if din.size > 0 else 0
+        if lbn < last or lbn >= NDADDR:
+            return sb.frag
+        tail = din.size - last * sb.bsize
+        return max(1, -(-tail // sb.fsize))
+
+    def check_inodes(self) -> None:
+        sb = self.sb
+        nindir = sb.bsize // 4
+        for ino in range(sb.ncg * sb.ipg):
+            din = self._read_dinode(ino)
+            if not din.is_allocated:
+                continue
+            if ino in (0, 1):
+                continue  # reserved
+            self.report.inodes_checked += 1
+            self.inode_modes[ino] = din.mode
+            kind = din.mode & IFMT
+            if kind not in (IFREG, IFDIR, IFLNK):
+                self.report.problem(f"inode {ino}: unknown mode {din.mode:#o}")
+                continue
+            fast_symlink_max = (NDADDR + 2) * 4 - 1
+            if kind == IFLNK:
+                if din.size <= fast_symlink_max:
+                    # Fast symlink: the pointer words are target bytes.
+                    if din.blocks != 0:
+                        self.report.problem(
+                            f"symlink {ino}: fast link claims blocks"
+                        )
+                else:
+                    nfrags = max(1, -(-din.size // sb.fsize))
+                    self._claim(ino, din.direct[0], nfrags)
+                    if din.blocks != nfrags:
+                        self.report.problem(
+                            f"symlink {ino}: holds {nfrags} frags but "
+                            f"di_blocks says {din.blocks}"
+                        )
+                continue
+            claimed = 0
+            last_lbn = (din.size - 1) // sb.bsize if din.size > 0 else -1
+            for lbn in range(min(last_lbn + 1, NDADDR)):
+                addr = din.direct[lbn]
+                if addr == 0:
+                    continue
+                nfrags = self._file_frags(din, lbn)
+                self._claim(ino, addr, nfrags)
+                claimed += nfrags
+            for lbn in range(NDADDR, last_lbn + 1):
+                pass  # counted via the pointer blocks below
+            if din.indirect:
+                claimed += self._walk_pointer_block(ino, din.indirect, 1)
+            if din.dindirect:
+                claimed += self._walk_pointer_block(ino, din.dindirect, 2)
+            if claimed != din.blocks:
+                self.report.problem(
+                    f"inode {ino}: holds {claimed} frags but di_blocks says "
+                    f"{din.blocks}"
+                )
+            max_size = (NDADDR + nindir + nindir * nindir) * sb.bsize
+            if din.size > max_size:
+                self.report.problem(f"inode {ino}: impossible size {din.size}")
+
+    def _walk_pointer_block(self, ino: int, addr: int, depth: int) -> int:
+        sb = self.sb
+        self._claim(ino, addr, sb.frag)
+        claimed = sb.frag
+        block = self._read_frag_addr(addr, sb.bsize)
+        for i in range(sb.bsize // 4):
+            child = struct.unpack_from("<I", block, i * 4)[0]
+            if child == 0:
+                continue
+            if depth > 1:
+                claimed += self._walk_pointer_block(ino, child, depth - 1)
+            else:
+                self._claim(ino, child, sb.frag)
+                claimed += sb.frag
+        return claimed
+
+    # -- phase 2/3: directory structure and link counts ---------------------------
+    def check_directories(self) -> None:
+        sb = self.sb
+        seen: set[int] = set()
+        stack = [(ROOT_INO, ROOT_INO)]  # (ino, parent)
+        while stack:
+            ino, parent = stack.pop()
+            if ino in seen:
+                self.report.problem(f"directory {ino} reached twice")
+                continue
+            seen.add(ino)
+            din = self._read_dinode(ino)
+            if not din.is_dir:
+                self.report.problem(f"inode {ino} expected directory")
+                continue
+            self.report.directories_checked += 1
+            names: set[str] = set()
+            nblocks = din.size // sb.bsize
+            for lbn in range(min(nblocks, NDADDR)):
+                addr = din.direct[lbn]
+                if addr == 0:
+                    self.report.problem(f"directory {ino}: hole at block {lbn}")
+                    continue
+                try:
+                    block = self._read_frag_addr(addr, sb.bsize)
+                    entries = iter_dirents(block)
+                except CorruptionError as exc:
+                    self.report.problem(f"directory {ino}: {exc}")
+                    continue
+                for _, child_ino, name in entries:
+                    if name in names:
+                        self.report.problem(
+                            f"directory {ino}: duplicate name {name!r}"
+                        )
+                    names.add(name)
+                    if name == ".":
+                        if child_ino != ino:
+                            self.report.problem(f"directory {ino}: bad '.'")
+                        continue
+                    if name == "..":
+                        if child_ino != parent:
+                            self.report.problem(f"directory {ino}: bad '..'")
+                        self.link_counts[parent] = self.link_counts.get(parent, 0) + 1
+                        continue
+                    mode = self.inode_modes.get(child_ino)
+                    if mode is None:
+                        self.report.problem(
+                            f"directory {ino}: entry {name!r} -> unallocated "
+                            f"inode {child_ino}"
+                        )
+                        continue
+                    self.link_counts[child_ino] = self.link_counts.get(child_ino, 0) + 1
+                    if (mode & IFMT) == IFDIR:
+                        stack.append((child_ino, ino))
+            if "." not in names or ".." not in names:
+                self.report.problem(f"directory {ino}: missing '.' or '..'")
+        # Note: the root's '..' entry points at itself and was counted in
+        # the scan, standing in for the parent-directory entry it lacks.
+        for ino, mode in self.inode_modes.items():
+            din = self._read_dinode(ino)
+            expected = self.link_counts.get(ino, 0)
+            if (mode & IFMT) == IFDIR:
+                expected += 1  # its own '.'
+                if ino not in seen:
+                    self.report.problem(f"directory {ino} unreachable from root")
+                    continue
+            if din.nlink != expected:
+                self.report.problem(
+                    f"inode {ino}: nlink {din.nlink} but {expected} references"
+                )
+
+    # -- phase 4: bitmaps and counters -----------------------------------------------
+    def check_bitmaps(self) -> None:
+        sb = self.sb
+        total_nbfree = total_nffree = total_nifree = total_ndir = 0
+        for cgx in range(sb.ncg):
+            data = self._read_frag_addr(sb.cg_header_frag(cgx), sb.bsize)
+            try:
+                cg = CylinderGroup.unpack(data, sb)
+            except CorruptionError as exc:
+                self.report.problem(f"group {cgx}: {exc}")
+                continue
+            base = sb.cgbase(cgx)
+            data_start = sb.cg_data_frag(cgx) - base
+            end = sb.cg_end_frag(cgx) - base
+            nbfree = nffree = 0
+            for block_rel in range(data_start, end - sb.frag + 1, sb.frag):
+                free_here = 0
+                for i in range(sb.frag):
+                    rel = block_rel + i
+                    frag_addr = base + rel
+                    is_free = cg.frag_is_free(rel)
+                    claimed = frag_addr in self.claims
+                    if is_free and claimed:
+                        self.report.problem(
+                            f"fragment {frag_addr} free in bitmap but claimed "
+                            f"by inode {self.claims[frag_addr]}"
+                        )
+                    if not is_free and not claimed:
+                        self.report.problem(
+                            f"fragment {frag_addr} allocated in bitmap but "
+                            f"unclaimed (leak)"
+                        )
+                    free_here += is_free
+                if free_here == sb.frag:
+                    nbfree += 1
+                else:
+                    nffree += free_here
+            if nbfree != cg.nbfree:
+                self.report.problem(
+                    f"group {cgx}: nbfree {cg.nbfree} but bitmap shows {nbfree}"
+                )
+            if nffree != cg.nffree:
+                self.report.problem(
+                    f"group {cgx}: nffree {cg.nffree} but bitmap shows {nffree}"
+                )
+            nifree = sum(
+                1 for i in range(sb.ipg) if cg.inode_is_free(i)
+            )
+            if nifree != cg.nifree:
+                self.report.problem(
+                    f"group {cgx}: nifree {cg.nifree} but bitmap shows {nifree}"
+                )
+            for i in range(sb.ipg):
+                ino = cgx * sb.ipg + i
+                allocated = ino in self.inode_modes or ino in (0, 1)
+                if cg.inode_is_free(i) and ino in self.inode_modes:
+                    self.report.problem(
+                        f"inode {ino} free in bitmap but allocated on disk"
+                    )
+                if not cg.inode_is_free(i) and not allocated:
+                    self.report.problem(f"inode {ino} leaked in bitmap")
+            total_nbfree += cg.nbfree
+            total_nffree += cg.nffree
+            total_nifree += cg.nifree
+            total_ndir += cg.ndir
+        if total_nbfree != sb.cs_nbfree:
+            self.report.problem(
+                f"superblock nbfree {sb.cs_nbfree} != groups {total_nbfree}"
+            )
+        if total_nffree != sb.cs_nffree:
+            self.report.problem(
+                f"superblock nffree {sb.cs_nffree} != groups {total_nffree}"
+            )
+        if total_nifree != sb.cs_nifree:
+            self.report.problem(
+                f"superblock nifree {sb.cs_nifree} != groups {total_nifree}"
+            )
+        if total_ndir != sb.cs_ndir:
+            self.report.problem(
+                f"superblock ndir {sb.cs_ndir} != groups {total_ndir}"
+            )
+
+
+def fsck(store: "DiskStore") -> FsckReport:
+    """Check the file system on ``store``; returns the findings."""
+    checker = _Checker(store)
+    checker.check_inodes()
+    checker.check_directories()
+    checker.check_bitmaps()
+    return checker.report

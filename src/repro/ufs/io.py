@@ -1,0 +1,581 @@
+"""ufs_getpage / ufs_putpage / ufs_rdwr: the paper's modified code paths.
+
+Read side (figure 2 / figure 6): ``ufs_getpage`` looks the page up, calls
+``bmap`` (which now also returns a contiguous length), reads a whole
+*cluster* synchronously on a miss, and — when the sequential heuristics say
+so — starts the next cluster's read-ahead asynchronously.
+
+Write side (figures 7/8): ``ufs_putpage`` on the delayed path lies until a
+cluster accumulates, then pushes the whole range, splitting on bmap
+contiguity (the ``while (more pages)`` loop).  The per-file write throttle
+is charged as clusters are queued and credited from the completion
+interrupt.
+
+``ufs_rdwr`` maps each file block, faults it in via getpage, copies, and on
+unmap triggers delayed putpage (writes) or free-behind (large sequential
+reads under memory pressure).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.disk.buf import Buf, BufOp
+from repro.errors import InvalidArgumentError
+from repro.ufs import bmap
+from repro.vfs.vnode import PutFlags, RW
+
+#: Largest file the "data in the inode" future-work extension will cache
+#: (the paper: "many files are small, less than 2KB").
+INLINE_DATA_MAX = 2048
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ufs.inode import Inode
+    from repro.ufs.vnode import UfsVnode
+    from repro.vm.page import Page
+
+
+# ---------------------------------------------------------------------------
+# getpage
+# ---------------------------------------------------------------------------
+
+def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ
+                ) -> Generator[Any, Any, "Page"]:
+    """Return the page at ``offset``, reading (a cluster) if necessary."""
+    mount = vn.mount
+    ip = vn.inode
+    pc = mount.pagecache
+    cpu = mount.cpu
+    psize = pc.page_size
+    tuning = mount.tuning
+    if offset % psize:
+        raise InvalidArgumentError(f"offset {offset} not page aligned")
+
+    # Find the page; if an I/O (read-ahead) is in flight, wait for it.
+    while True:
+        page = pc.lookup(vn, offset)
+        if page is not None and page.locked and not page.valid:
+            mount.stats.incr("getpage_io_waits")
+            yield from page.wait_unlocked()
+            continue
+        break
+    cached = page is not None and page.valid
+
+    yield from cpu.work("getpage", cpu.costs.getpage_hit)
+    action = ip.readahead.observe(offset, psize, cached)
+    want = ip.cluster_blocks if action.sequential else 1
+
+    # bmap() to find the disk location — called even when the page is in
+    # memory, because of holes (the UFS_HOLE discussion).  The future-work
+    # bypass skips it on a hit when di_blocks proves the file hole-free.
+    lbn = offset // mount.sb.bsize
+    if cached and tuning.hole_check_bypass and not ip.maybe_holes:
+        addr, contig = bmap.HOLE, 1  # unused on the cached path
+        mount.stats.incr("bmap_bypassed")
+    else:
+        addr, contig = yield from bmap.bmap_read(mount, ip, lbn, want)
+
+    if not cached:
+        yield from cpu.work("getpage", cpu.costs.getpage_miss)
+        if addr == bmap.HOLE or offset >= ip.size:
+            # A hole (or read past EOF via mmap): deliver zeros, no I/O.
+            page = yield from _grab_page(vn, offset)
+            page.zero()
+            page.valid = True
+            page.unlock()
+            mount.stats.incr("zero_fill")
+        else:
+            sync_blocks = contig if tuning.read_clustering else 1
+            buf, sync_bytes = yield from _issue_read(
+                vn, offset, sync_blocks, async_=False,
+                translation=(addr, contig),
+            )
+            mount.trace.emit("getpage_sync", offset=offset, bytes=sync_bytes)
+            if action.ra_after_sync:
+                yield from _maybe_readahead(vn, offset + sync_bytes)
+            if buf is not None:
+                yield buf.done  # first page was not in cache: wait
+    elif action.ra_offset is not None:
+        yield from _maybe_readahead(vn, action.ra_offset)
+
+    page = pc.lookup(vn, offset)
+    if page is None or not page.valid:
+        # The frame was stolen between iodone and now (extreme pressure):
+        # retry from the top.
+        mount.stats.incr("getpage_retries")
+        return (yield from ufs_getpage(vn, offset, rw))
+    page.referenced = True
+    return page
+
+
+def _maybe_readahead(vn: "UfsVnode", ra_offset: int) -> Generator[Any, Any, None]:
+    """Start an asynchronous cluster read at ``ra_offset`` if sensible."""
+    mount = vn.mount
+    ip = vn.inode
+    if ra_offset >= ip.size:
+        return
+    want = ip.cluster_blocks if mount.tuning.read_clustering else 1
+    buf, nbytes = yield from _issue_read(vn, ra_offset, want, async_=True)
+    if nbytes > 0:
+        ip.readahead.issued(ra_offset, nbytes)
+        mount.stats.incr("readaheads")
+        mount.trace.emit("readahead", offset=ra_offset, bytes=nbytes)
+
+
+def _grab_page(vn: "UfsVnode", offset: int) -> Generator[Any, Any, "Page"]:
+    """Allocate (locked) a page frame for <vn, offset>, waiting for memory."""
+    mount = vn.mount
+    pc = mount.pagecache
+    while True:
+        page = pc.allocate(vn, offset)
+        if page is not None:
+            yield from mount.cpu.work("page_alloc", mount.cpu.costs.page_alloc)
+            return page
+        yield from pc.wait_for_memory()
+
+
+def _issue_read(vn: "UfsVnode", offset: int, want_blocks: int, async_: bool,
+                translation: "tuple[int, int] | None" = None,
+                ) -> Generator[Any, Any, "tuple[Buf | None, int]"]:
+    """Read up to ``want_blocks`` starting at ``offset`` as one request.
+
+    The cluster is bounded by bmap contiguity, EOF, and the first page that
+    is already cached.  ``translation`` is the caller's bmap result for
+    ``offset``, when it already has one (ufs_getpage does).  Returns
+    (buf, bytes issued); (None, 0) if nothing needed reading.
+    """
+    mount = vn.mount
+    ip = vn.inode
+    pc = mount.pagecache
+    sb = mount.sb
+    psize = pc.page_size
+    lbn = offset // sb.bsize
+    if translation is not None:
+        addr, contig = translation
+    else:
+        addr, contig = yield from bmap.bmap_read(mount, ip, lbn,
+                                                 max(1, want_blocks))
+    if addr == bmap.HOLE:
+        return None, 0
+    blocks = min(contig, want_blocks)
+    last_lbn = (ip.size - 1) // sb.bsize
+    blocks = min(blocks, last_lbn - lbn + 1)
+    if blocks <= 0:
+        return None, 0
+
+    # Collect consecutive uncached pages (stop at the first cached one).
+    pages: list["Page"] = []
+    for i in range(blocks):
+        page_off = offset + i * psize
+        if pc.lookup(vn, page_off) is not None:
+            break
+        page = yield from _grab_page(vn, page_off)
+        pages.append(page)
+    if not pages:
+        return None, 0
+    blocks = len(pages)
+
+    # The tail block of a small file may be a fragment run.
+    nbytes = (blocks - 1) * sb.bsize + ip.blksize(lbn + blocks - 1)
+    nsectors = -(-nbytes // 512)
+    cpu = mount.cpu
+    if blocks > 1:
+        yield from cpu.work("cluster", blocks * cpu.costs.cluster_per_page)
+    yield from cpu.work("driver", cpu.costs.driver_strategy)
+
+    buf = Buf(mount.engine, BufOp.READ, sb.fsb_to_sector(addr), nsectors,
+              async_=async_, owner=f"ufs-read-i{ip.ino}")
+    mount.stats.incr("read_ios")
+    mount.stats.incr("read_bytes", nbytes)
+
+    def iodone(done_buf: Buf, pages=pages, psize=psize) -> None:
+        assert done_buf.data is not None
+        for i, page in enumerate(pages):
+            page.fill(done_buf.data[i * psize:(i + 1) * psize])
+            page.valid = True
+            page.dirty = False
+            page.unlock()
+
+    buf.iodone.append(iodone)
+    mount.driver.strategy(buf)
+    return buf, blocks * psize
+
+
+# ---------------------------------------------------------------------------
+# putpage
+# ---------------------------------------------------------------------------
+
+def ufs_putpage(vn: "UfsVnode", offset: int, length: int, flags: PutFlags
+                ) -> Generator[Any, Any, None]:
+    """Write pages of [offset, offset+length) back, per ``flags``."""
+    mount = vn.mount
+    ip = vn.inode
+    psize = mount.pagecache.page_size
+    cpu = mount.cpu
+    yield from cpu.work("putpage", cpu.costs.putpage)
+
+    if flags.delay:
+        if length != psize:
+            raise InvalidArgumentError("delayed putpage is per page")
+        if mount.tuning.lazy_writeback:
+            # Peacock-style: keep lying until the cache is flushed ("the
+            # flush may cause a proportionally large I/O burst").
+            mount.trace.emit("write_delayed", offset=offset)
+            return
+        if mount.tuning.write_clustering:
+            max_bytes = max(psize, ip.cluster_blocks * mount.sb.bsize)
+            action = ip.writecluster.offer(offset, psize, max_bytes)
+            if action.should_flush:
+                mount.trace.emit(
+                    "write_cluster_push",
+                    offset=action.flush_offset, bytes=action.flush_len,
+                    restarted=action.restarted,
+                )
+                yield from _push_range(
+                    vn, action.flush_offset, action.flush_len,
+                    async_=True, free=False,
+                )
+            else:
+                mount.trace.emit("write_delayed", offset=offset)
+            return
+        # Old system: start the I/O for this page right away.
+        yield from _push_range(vn, offset, psize, async_=True, free=False)
+        return
+
+    # Non-delayed: dirty bits are ground truth; fold in any stolen range.
+    start, span = ip.writecluster.steal(offset, length)
+    if span:
+        end = max(offset + length, start + span)
+        offset = min(offset, start)
+        length = end - offset
+    yield from _push_range(vn, offset, length, async_=flags.async_,
+                           free=flags.free, invalidate=flags.invalidate)
+
+
+def _push_range(vn: "UfsVnode", offset: int, length: int, async_: bool,
+                free: bool, invalidate: bool = False
+                ) -> Generator[Any, Any, None]:
+    """Write out all dirty pages in [offset, offset+length), clustered by
+    contiguity on disk (figure 8's while loop).
+
+    The range is re-scanned after each cluster: pages may be cleaned,
+    locked, or re-dirtied by other processes (pageout, other writers)
+    between I/Os, and the dirty bits — not this routine's snapshot — are
+    the ground truth.
+    """
+    mount = vn.mount
+    ip = vn.inode
+    pc = mount.pagecache
+    sb = mount.sb
+    psize = pc.page_size
+    end = offset + length
+    seen: set[int] = set()
+    waits = []
+    while True:
+        dirty = [
+            p for p in pc.vnode_pages(vn)
+            if offset <= p.offset < end and p.dirty and p.valid
+            and not p.locked and p.frame not in seen
+        ]
+        if not dirty:
+            break
+        # The first run of consecutive page offsets...
+        run = [dirty[0]]
+        for p in dirty[1:]:
+            if p.offset != run[-1].offset + psize:
+                break
+            run.append(p)
+        # ...split by on-disk contiguity.
+        lbn = run[0].offset // sb.bsize
+        addr, contig = yield from bmap.bmap_read(mount, ip, lbn, len(run))
+        if addr == bmap.HOLE:
+            raise InvalidArgumentError(
+                f"dirty page at {run[0].offset} has no backing store"
+            )
+        cluster = run[:contig]
+        buf, written = yield from _issue_write(vn, cluster, addr, async_,
+                                               free, invalidate)
+        seen.update(p.frame for p in written)
+        if buf is not None:
+            if not async_:
+                waits.append(buf.done)
+        elif not written:
+            # No progress (pages stolen mid-flight): let time advance so
+            # whoever holds them finishes, then rescan.
+            seen.update(p.frame for p in cluster)
+    for done in waits:
+        yield done
+
+
+def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
+                 async_: bool, free: bool, invalidate: bool
+                 ) -> Generator[Any, Any, "tuple[Buf | None, list[Page]]"]:
+    """Write one on-disk-contiguous cluster of dirty pages.
+
+    Returns the buf (None if nothing needed writing) and the pages actually
+    covered by it.
+    """
+    mount = vn.mount
+    ip = vn.inode
+    pc = mount.pagecache
+    sb = mount.sb
+    cpu = mount.cpu
+
+    # Lock the pages; drop any that got cleaned or claimed meanwhile, and
+    # keep only the still-consecutive prefix (the dropped tail stays dirty
+    # and is picked up by the caller's rescan).
+    run: list["Page"] = []
+    for page in cluster:
+        if page.locked:
+            yield from page.lock_wait()
+        else:
+            page.lock()
+        usable = page.dirty and page.valid and page.vnode is vn
+        consecutive = not run or page.offset == run[-1].offset + pc.page_size
+        if not usable or not consecutive:
+            page.unlock()
+            if not usable:
+                continue
+            break
+        run.append(page)
+    if not run:
+        return None, []
+    # If leading pages were dropped, shift the physical address to match
+    # (bmap guaranteed contiguity across the original cluster).
+    addr += (run[0].offset - cluster[0].offset) // sb.bsize * sb.frag
+    first_lbn = run[0].offset // sb.bsize
+    last_lbn = first_lbn + len(run) - 1
+    nbytes = (len(run) - 1) * sb.bsize + ip.blksize(last_lbn)
+    data = bytearray()
+    for idx, page in enumerate(run):
+        take = min(pc.page_size, nbytes - idx * pc.page_size)
+        data.extend(page.data[:take])
+    nsectors = -(-len(data) // 512)
+    data = bytes(data.ljust(nsectors * 512, b"\x00"))
+
+    # The write is charged now but the sleep happens after the request is
+    # queued — a single over-limit write must still reach the driver.
+    ip.throttle.take(len(data))
+    if len(run) > 1:
+        yield from cpu.work("cluster", len(run) * cpu.costs.cluster_per_page)
+    yield from cpu.work("driver", cpu.costs.driver_strategy)
+
+    buf = Buf(mount.engine, BufOp.WRITE, sb.fsb_to_sector(addr), nsectors,
+              data=data, async_=async_, owner=f"ufs-write-i{ip.ino}")
+    mount.stats.incr("write_ios")
+    mount.stats.incr("write_bytes", len(data))
+
+    throttle = ip.throttle
+    charged = len(data)
+
+    def iodone(done_buf: Buf, pages=run) -> None:
+        for page in pages:
+            page.dirty = False
+            page.unlock()
+            if invalidate:
+                pc.destroy(page)
+            elif free and not page.referenced and not page.free:
+                pc.free(page)
+        throttle.credit(charged)
+
+    buf.iodone.append(iodone)
+    mount.driver.strategy(buf)
+    yield from ip.throttle.wait_ok()
+    return buf, run
+
+
+# ---------------------------------------------------------------------------
+# rdwr
+# ---------------------------------------------------------------------------
+
+def ufs_rdwr(vn: "UfsVnode", rw: RW, offset: int, payload: "bytes | int"
+             ) -> Generator[Any, Any, "bytes | int"]:
+    """The read/write entry point: map, fault, copy, unmap per block."""
+    if offset < 0:
+        raise InvalidArgumentError("negative file offset")
+    if rw is RW.READ:
+        return (yield from _rdwr_read(vn, offset, int(payload)))
+    return (yield from _rdwr_write(vn, offset, bytes(payload)))  # type: ignore[arg-type]
+
+
+def _rdwr_read(vn: "UfsVnode", offset: int, count: int
+               ) -> Generator[Any, Any, bytes]:
+    mount = vn.mount
+    ip = vn.inode
+    pc = mount.pagecache
+    cpu = mount.cpu
+    psize = pc.page_size
+    tuning = mount.tuning
+    if count < 0:
+        raise InvalidArgumentError("negative read count")
+    if offset >= ip.size:
+        return b""
+    count = min(count, ip.size - offset)
+
+    # Future work, "data in the inode": "inodes are already cached in the
+    # system separately from pages which means that the system could
+    # satisfy many requests directly from the inode".
+    if (tuning.inode_data_cache and ip.size <= INLINE_DATA_MAX
+            and ip.inline_data is not None):
+        yield from cpu.work("inode", cpu.costs.inode_update)
+        yield from cpu.copy("copyout", count)
+        mount.stats.incr("inline_reads")
+        return ip.inline_data[offset:offset + count]
+
+    # Future work, "random clustering": "if the request is a read of a
+    # large amount of data ... the request size could be passed down to
+    # the ufs_getpage routine, which could use the request size as a hint
+    # to turn on clustering for what is apparently random access."
+    if (tuning.random_clustering and count > psize
+            and offset != ip.readahead.nextr):
+        start = (offset // psize) * psize
+        end = min(((offset + count + psize - 1) // psize) * psize, ip.size)
+        pos = start
+        while pos < end:
+            want = (end - pos + mount.sb.bsize - 1) // mount.sb.bsize
+            buf, nbytes = yield from _issue_read(vn, pos, want, async_=True)
+            if nbytes == 0:
+                pos += psize  # cached or a hole: skip forward one page
+            else:
+                pos += nbytes
+                mount.stats.incr("random_clustered_reads")
+
+    parts: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        page_off = (offset // psize) * psize
+        chunk = min(psize - (offset - page_off), remaining)
+        yield from cpu.work("segmap", cpu.costs.segmap)
+        yield from cpu.work("fault", cpu.costs.fault)
+        page = yield from ufs_getpage(vn, page_off, RW.READ)
+        yield from page.lock_wait()
+        yield from cpu.copy("copyout", chunk)
+        parts.append(bytes(page.data[offset - page_off:offset - page_off + chunk]))
+        page.unlock()
+        # Unmap: free behind, if the conditions hold.
+        if tuning.freebehind and offset - page_off + chunk == psize:
+            lotsfree = max(1, pc.low_water)
+            if mount.freebehind.should_free(
+                ip.readahead.last_was_sequential, page_off,
+                pc.freemem, lotsfree,
+            ) and not page.locked and not page.dirty and not page.free:
+                pc.free(page, front=True)
+                mount.stats.incr("freebehind")
+        offset += chunk
+        remaining -= chunk
+    result = b"".join(parts)
+    if (tuning.inode_data_cache and ip.size <= INLINE_DATA_MAX
+            and offset - count == 0 and count >= ip.size):
+        # A whole-file read of a small file: cache it in the inode.
+        ip.inline_data = result
+    return result
+
+
+def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
+                ) -> Generator[Any, Any, int]:
+    mount = vn.mount
+    ip = vn.inode
+    pc = mount.pagecache
+    cpu = mount.cpu
+    sb = mount.sb
+    psize = pc.page_size
+    written = 0
+    remaining = len(data)
+    while remaining > 0:
+        page_off = (offset // psize) * psize
+        in_page = offset - page_off
+        chunk = min(psize - in_page, remaining)
+        lbn = page_off // sb.bsize
+        new_size = max(ip.size, offset + chunk)
+        frags_needed = _frags_for(sb, lbn, new_size)
+        yield from cpu.work("segmap", cpu.costs.segmap)
+
+        # Growing past the tail block: the old tail's fragment run must be
+        # expanded to a full block first (classic UFS), preserving its data.
+        if ip.size > 0:
+            old_last = (ip.size - 1) // sb.bsize
+            if lbn > old_last and old_last < len(ip.direct):
+                yield from _expand_frag_tail(vn, old_last)
+            if lbn > old_last + 1:
+                ip.maybe_holes = True  # whole blocks skipped: a hole
+        elif lbn > 0:
+            ip.maybe_holes = True
+        ip.inline_data = None  # writes invalidate the inline cache
+
+        old_ptr = yield from bmap.get_pointer(mount, ip, lbn)
+        yield from bmap.bmap_alloc(mount, ip, lbn, frags_needed)
+
+        page = pc.lookup(vn, page_off)
+        if page is not None:
+            if page.locked and not page.valid:
+                yield from page.wait_unlocked()
+                page = pc.lookup(vn, page_off)
+        if page is None:
+            if old_ptr == bmap.HOLE or (in_page == 0 and chunk >= min(
+                    psize, new_size - page_off)):
+                # Nothing old to preserve: take a fresh zeroed page.
+                page = yield from _grab_page(vn, page_off)
+                page.zero()
+                page.valid = True
+                page.unlock()
+            else:
+                yield from cpu.work("fault", cpu.costs.fault)
+                page = yield from ufs_getpage(vn, page_off, RW.WRITE)
+        yield from page.lock_wait()
+        yield from cpu.copy("copyin", chunk)
+        page.data[in_page:in_page + chunk] = data[written:written + chunk]
+        page.dirty = True
+        page.referenced = True
+        page.valid = True
+        page.unlock()
+        if new_size > ip.size:
+            ip.size = new_size
+            ip.mark_dirty()
+        # Unmap: the delayed putpage is where write clustering happens.
+        yield from ufs_putpage(vn, page_off, psize, PutFlags(delay=True))
+        offset += chunk
+        written += chunk
+        remaining -= chunk
+    yield from cpu.work("inode", cpu.costs.inode_update)
+    return written
+
+
+def _expand_frag_tail(vn: "UfsVnode", tail_lbn: int) -> Generator[Any, Any, None]:
+    """Grow the file's (old) tail block to a full block before the file
+    extends past it.
+
+    The reallocation may move the fragments; the data survives because the
+    tail page is brought into the cache first and marked dirty, so the next
+    writeback lands it at the new address.
+    """
+    mount = vn.mount
+    ip = vn.inode
+    sb = mount.sb
+    old_ptr = yield from bmap.get_pointer(mount, ip, tail_lbn)
+    if old_ptr == bmap.HOLE:
+        return  # a hole stays a hole
+    old_frags = ip.blksize(tail_lbn) // sb.fsize
+    if old_frags >= sb.frag:
+        return  # already a full block
+    page = yield from ufs_getpage(vn, tail_lbn * sb.bsize, RW.READ)
+    yield from page.lock_wait()
+    try:
+        new_addr = yield from bmap.bmap_alloc(mount, ip, tail_lbn, sb.frag)
+        page.dirty = True  # must be written out (possibly to a new address)
+        page.referenced = True
+    finally:
+        page.unlock()
+    mount.stats.incr("tail_expansions")
+
+
+def _frags_for(sb, lbn: int, file_size: int) -> int:
+    """Fragments logical block ``lbn`` needs for a file of ``file_size``."""
+    from repro.ufs.ondisk import NDADDR
+
+    if lbn >= NDADDR:
+        return sb.frag
+    last_lbn = (file_size - 1) // sb.bsize if file_size > 0 else 0
+    if lbn < last_lbn:
+        return sb.frag
+    tail = file_size - last_lbn * sb.bsize
+    return max(1, -(-tail // sb.fsize))

@@ -1,0 +1,450 @@
+"""A mounted UFS: inodes, name lookup, file operations, sync.
+
+The mount owns the authoritative in-memory copies of the superblock and
+cylinder groups (as the kernel does), an inode cache, the metadata buffer
+cache, and the allocator.  ``sync()`` packs everything dirty back to disk;
+``fsck`` then validates the on-disk bytes independently.
+
+Directory-modifying operations write the affected metadata synchronously —
+the UFS consistency discipline whose cost the paper's B_ORDER proposal
+targets.  Pass ``ordered_metadata=True`` to use B_ORDER barrier writes
+instead (asynchronous but unreorderable), the future-work variant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.core import ClusterTuning, FreeBehindPolicy
+from repro.disk.buf import Buf, BufOp
+from repro.errors import (
+    DirectoryNotEmptyError, FileExistsError_, FileNotFoundError_,
+    InvalidArgumentError, IsADirectoryError_, NotADirectoryError_,
+)
+from repro.sim.stats import StatSet
+from repro.sim.trace import Tracer
+from repro.ufs import bmap, dir as dirops
+from repro.ufs.alloc import Allocator
+from repro.ufs.inode import Inode
+from repro.ufs.metacache import MetaCache
+from repro.ufs.ondisk import (
+    DINODE_SIZE, Dinode, IFDIR, IFLNK, IFREG, NDADDR, ROOT_INO,
+    CylinderGroup, Superblock, empty_dirblock, pack_dirent, DIRBLKSIZ,
+)
+from repro.ufs.vnode import UfsVnode
+from repro.vfs.vnode import Vfs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu import Cpu
+    from repro.disk.driver import DiskDriver
+    from repro.sim.engine import Engine
+    from repro.vm.pagecache import PageCache
+
+
+class UfsMount(Vfs):
+    """One mounted instance of UFS."""
+
+    def __init__(self, engine: "Engine", cpu: "Cpu", driver: "DiskDriver",
+                 pagecache: "PageCache", tuning: ClusterTuning | None = None,
+                 tracer: Tracer | None = None, metacache_blocks: int = 64,
+                 ordered_metadata: bool = False, name: str = "ufs0"):
+        super().__init__(name)
+        self.engine = engine
+        self.cpu = cpu
+        self.driver = driver
+        self.pagecache = pagecache
+        self.tuning = tuning if tuning is not None else ClusterTuning.new_system()
+        self.trace = tracer if tracer is not None else Tracer(engine)
+        self.stats = StatSet(name)
+        self.ordered_metadata = ordered_metadata
+
+        store = driver.disk.store
+        # Mount-time reads (superblock, group headers) go through the data
+        # plane directly: mount is not on any benchmarked path.  The
+        # superblock lives at the canonical 8 KB offset (block 1).
+        self.sb = Superblock.unpack(store.read(16, 16))
+        if pagecache.page_size != self.sb.bsize:
+            raise InvalidArgumentError(
+                "this reproduction assumes page size == block size "
+                f"({pagecache.page_size} != {self.sb.bsize})"
+            )
+        frag_sectors = self.sb.fsize // 512
+        self.cgs: list[CylinderGroup] = []
+        for cgx in range(self.sb.ncg):
+            sector = self.sb.cg_header_frag(cgx) * frag_sectors
+            data = store.read(sector, self.sb.bsize // 512)
+            self.cgs.append(CylinderGroup.unpack(data, self.sb))
+        self._dirty_cgs: set[int] = set()
+        self._sb_dirty = False
+
+        self.metacache = MetaCache(engine, driver, cpu, self.sb.bsize,
+                                   frag_sectors, capacity=metacache_blocks)
+        self.allocator = Allocator(self)
+        self.freebehind = FreeBehindPolicy(
+            enabled=self.tuning.freebehind,
+            min_offset=self.tuning.freebehind_min_offset,
+        )
+        self._icache: dict[int, Inode] = {}
+        self._vnodes: dict[int, UfsVnode] = {}
+
+    # -- Vfs interface ---------------------------------------------------------
+    @property
+    def root(self) -> UfsVnode:
+        vn = self._vnodes.get(ROOT_INO)
+        if vn is None:
+            raise RuntimeError("call mount.activate() (a process) first")
+        return vn
+
+    def activate(self) -> Generator[Any, Any, "UfsMount"]:
+        """Read the root inode (the only I/O mount needs a process for)."""
+        yield from self.iget(ROOT_INO)
+        return self
+
+    # -- inode management ----------------------------------------------------------
+    def iget(self, ino: int) -> Generator[Any, Any, UfsVnode]:
+        """Get (reading if necessary) the vnode for inode ``ino``."""
+        vn = self._vnodes.get(ino)
+        if vn is not None:
+            return vn
+        frag_addr, byte_off = self.sb.inode_location(ino)
+        meta = yield from self.metacache.bread(frag_addr)
+        din = Dinode.unpack(bytes(meta.data[byte_off:byte_off + DINODE_SIZE]))
+        ip = Inode(self, ino, din)
+        self._icache[ino] = ip
+        vn = UfsVnode(self, ip)
+        self._vnodes[ino] = vn
+        yield from self.cpu.work("inode", self.cpu.costs.inode_update)
+        return vn
+
+    def write_inode(self, ip: Inode, sync: bool = False
+                    ) -> Generator[Any, Any, None]:
+        """Pack the dinode into its inode block; sync or delayed."""
+        frag_addr, byte_off = self.sb.inode_location(ip.ino)
+        meta = yield from self.metacache.bread(frag_addr)
+        meta.data[byte_off:byte_off + DINODE_SIZE] = ip.to_dinode().pack()
+        ip.dirty = False
+        yield from self.cpu.work("inode", self.cpu.costs.inode_update)
+        if sync and self.ordered_metadata:
+            yield from self._ordered_write(meta)
+        elif sync:
+            yield from self.metacache.bwrite(meta)
+        else:
+            self.metacache.bdwrite(meta)
+
+    def meta_write(self, meta) -> Generator[Any, Any, None]:
+        """A consistency-critical metadata write: synchronous today, or an
+        asynchronous B_ORDER barrier write when ``ordered_metadata`` is on
+        (the paper's future-work proposal)."""
+        if self.ordered_metadata:
+            yield from self._ordered_write(meta)
+        else:
+            yield from self.metacache.bwrite(meta)
+
+    def _ordered_write(self, meta) -> Generator[Any, Any, None]:
+        """B_ORDER: asynchronous but unreorderable metadata write."""
+        frag_sectors = self.sb.fsize // 512
+        buf = Buf(self.engine, BufOp.WRITE, meta.frag_addr * frag_sectors,
+                  self.sb.bsize // 512, data=bytes(meta.data),
+                  async_=True, ordered=True)
+        meta.dirty = False
+        yield from self.cpu.work("driver", self.cpu.costs.driver_strategy)
+        self.driver.strategy(buf)
+
+    def mark_cg_dirty(self, cgx: int) -> None:
+        self._dirty_cgs.add(cgx)
+        self._sb_dirty = True
+
+    # -- sync --------------------------------------------------------------------------
+    def sync(self) -> Generator[Any, Any, None]:
+        """Flush dirty inodes, data pages, cylinder groups, superblock."""
+        for ino, ip in list(self._icache.items()):
+            vn = self._vnodes[ino]
+            if self.pagecache.dirty_pages(vn):
+                yield from vn.fsync()
+            elif ip.dirty:
+                yield from self.write_inode(ip, sync=False)
+        yield from self.metacache.flush()
+        frag_sectors = self.sb.fsize // 512
+        for cgx in sorted(self._dirty_cgs):
+            data = self.cgs[cgx].pack(self.sb)
+            buf = Buf(self.engine, BufOp.WRITE,
+                      self.sb.cg_header_frag(cgx) * frag_sectors,
+                      len(data) // 512, data=data)
+            self.driver.strategy(buf)
+            yield buf.done
+        self._dirty_cgs.clear()
+        # The superblock is always rewritten (update(8) behaviour).
+        data = self.sb.pack()
+        buf = Buf(self.engine, BufOp.WRITE, self.sb.frag * frag_sectors,
+                  len(data) // 512, data=data)
+        self.driver.strategy(buf)
+        yield buf.done
+        self._sb_dirty = False
+
+    #: The fast-symlink capacity: the byte space of the block pointer
+    #: array in the dinode ("the space normally used for block pointers is
+    #: filled with the symlink data").
+    FAST_SYMLINK_MAX = (NDADDR + 2) * 4 - 1
+
+    # -- name lookup ----------------------------------------------------------------------
+    def namei(self, path: str, follow: bool = True,
+              _depth: int = 0) -> Generator[Any, Any, UfsVnode]:
+        """Resolve an absolute path to a vnode, following symlinks."""
+        if _depth > 8:
+            from repro.errors import FilesystemError
+
+            raise FilesystemError(f"too many levels of symbolic links: {path}")
+        parts = self._split(path)
+        vn = yield from self.iget(ROOT_INO)
+        for i, part in enumerate(parts):
+            if not vn.inode.is_dir:
+                raise NotADirectoryError_(f"{part!r} looked up in non-directory")
+            yield from self.cpu.work("namei", self.cpu.costs.namei_component)
+            ino = yield from dirops.lookup(self, vn.inode, part)
+            if ino is None:
+                raise FileNotFoundError_(path)
+            vn = yield from self.iget(ino)
+            last = i == len(parts) - 1
+            if vn.inode.is_symlink and (follow or not last):
+                target = yield from self.readlink_inode(vn.inode)
+                rest = "/".join(parts[i + 1:])
+                next_path = target + ("/" + rest if rest else "")
+                return (yield from self.namei(next_path, follow=follow,
+                                              _depth=_depth + 1))
+        return vn
+
+    # -- symlinks -----------------------------------------------------------------------
+    def symlink(self, target: str, link_path: str
+                ) -> Generator[Any, Any, UfsVnode]:
+        """Create a symbolic link.  Short targets are stored inside the
+        dinode's pointer area (the "fast symlink" the paper points to as
+        prior art for data-in-the-inode)."""
+        if not target:
+            raise InvalidArgumentError("empty symlink target")
+        if not target.startswith("/"):
+            raise InvalidArgumentError(
+                "this reproduction supports absolute symlink targets only")
+        dir_vn, name = yield from self._dir_and_name(link_path)
+        clash = yield from dirops.lookup(self, dir_vn.inode, name)
+        if clash is not None:
+            raise FileExistsError_(link_path)
+        ino = yield from self.allocator.alloc_inode(
+            self.sb.cg_of_inode(dir_vn.inode.ino), IFLNK)
+        ip = Inode(self, ino, Dinode(mode=IFLNK | 0o777, nlink=1))
+        self._icache[ino] = ip
+        vn = UfsVnode(self, ip)
+        self._vnodes[ino] = vn
+        encoded = target.encode()
+        ip.size = len(encoded)
+        if len(encoded) <= self.FAST_SYMLINK_MAX:
+            # Fast symlink: pack the target into the pointer words.
+            padded = encoded.ljust((NDADDR + 2) * 4, b"\x00")
+            words = [int.from_bytes(padded[j:j + 4], "little")
+                     for j in range(0, len(padded), 4)]
+            ip.direct = words[:NDADDR]
+            ip.indirect = words[NDADDR]
+            ip.dindirect = words[NDADDR + 1]
+            self.stats.incr("fast_symlinks")
+        else:
+            # Slow symlink: the target lives in a data block.
+            from repro.ufs import bmap as bmap_mod
+
+            nfrags = max(1, -(-len(encoded) // self.sb.fsize))
+            addr = yield from bmap_mod.bmap_alloc(self, ip, 0, nfrags)
+            meta = yield from self.metacache.install_new(
+                addr, encoded.ljust(self.sb.bsize, b"\x00"))
+            yield from self.meta_write(meta)
+            self.stats.incr("slow_symlinks")
+        yield from self.write_inode(ip, sync=True)
+        yield from dirops.enter(self, dir_vn.inode, name, ino)
+        return vn
+
+    def readlink_inode(self, ip: Inode) -> Generator[Any, Any, str]:
+        """The symlink's target string."""
+        if not ip.is_symlink:
+            raise InvalidArgumentError("not a symlink")
+        if ip.size <= self.FAST_SYMLINK_MAX:
+            words = list(ip.direct) + [ip.indirect, ip.dindirect]
+            raw = b"".join(w.to_bytes(4, "little") for w in words)
+            return raw[:ip.size].decode()
+        meta = yield from self.metacache.bread(ip.direct[0])
+        return bytes(meta.data[:ip.size]).decode()
+
+    def readlink(self, path: str) -> Generator[Any, Any, str]:
+        vn = yield from self.namei(path, follow=False)
+        return (yield from self.readlink_inode(vn.inode))
+
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        if not path.startswith("/"):
+            raise InvalidArgumentError(f"path must be absolute: {path!r}")
+        return [p for p in path.split("/") if p]
+
+    def _dir_and_name(self, path: str) -> Generator[Any, Any, tuple[UfsVnode, str]]:
+        parts = self._split(path)
+        if not parts:
+            raise InvalidArgumentError("path names the root")
+        dir_vn = yield from self.namei("/" + "/".join(parts[:-1]))
+        if not dir_vn.inode.is_dir:
+            raise NotADirectoryError_(path)
+        return dir_vn, parts[-1]
+
+    # -- file operations -----------------------------------------------------------------------
+    def create(self, path: str, mode: int = IFREG | 0o644
+               ) -> Generator[Any, Any, UfsVnode]:
+        """Create a regular file; inode and directory written synchronously."""
+        dir_vn, name = yield from self._dir_and_name(path)
+        existing = yield from dirops.lookup(self, dir_vn.inode, name)
+        if existing is not None:
+            raise FileExistsError_(path)
+        ino = yield from self.allocator.alloc_inode(
+            self.sb.cg_of_inode(dir_vn.inode.ino), mode
+        )
+        ip = Inode(self, ino, Dinode(mode=mode, nlink=1))
+        self._icache[ino] = ip
+        vn = UfsVnode(self, ip)
+        self._vnodes[ino] = vn
+        yield from self.write_inode(ip, sync=True)
+        yield from dirops.enter(self, dir_vn.inode, name, ino)
+        self.stats.incr("creates")
+        return vn
+
+    def mkdir(self, path: str, mode: int = IFDIR | 0o755
+              ) -> Generator[Any, Any, UfsVnode]:
+        """Create a directory with '.' and '..'."""
+        dir_vn, name = yield from self._dir_and_name(path)
+        parent = dir_vn.inode
+        existing = yield from dirops.lookup(self, parent, name)
+        if existing is not None:
+            raise FileExistsError_(path)
+        ino = yield from self.allocator.alloc_inode(
+            self.sb.cg_of_inode(parent.ino), mode
+        )
+        ip = Inode(self, ino, Dinode(mode=mode, nlink=2))
+        self._icache[ino] = ip
+        vn = UfsVnode(self, ip)
+        self._vnodes[ino] = vn
+        # First block with . and ..
+        addr = yield from bmap.bmap_alloc(self, ip, 0, self.sb.frag)
+        block = bytearray(empty_dirblock(self.sb.bsize))
+        block[0:12] = pack_dirent(ino, ".", 12)
+        block[12:DIRBLKSIZ] = pack_dirent(parent.ino, "..", DIRBLKSIZ - 12)
+        meta = yield from self.metacache.install_new(addr, bytes(block))
+        yield from self.meta_write(meta)
+        ip.size = self.sb.bsize
+        yield from self.write_inode(ip, sync=True)
+        yield from dirops.enter(self, parent, name, ino)
+        parent.nlink += 1
+        yield from self.write_inode(parent, sync=True)
+        self.stats.incr("mkdirs")
+        return vn
+
+    def link(self, existing: str, new_path: str) -> Generator[Any, Any, None]:
+        """Create a hard link (link(2)): same inode, one more name."""
+        vn = yield from self.namei(existing)
+        ip = vn.inode
+        if ip.is_dir:
+            raise IsADirectoryError_("cannot hard-link directories")
+        dir_vn, name = yield from self._dir_and_name(new_path)
+        clash = yield from dirops.lookup(self, dir_vn.inode, name)
+        if clash is not None:
+            raise FileExistsError_(new_path)
+        ip.nlink += 1
+        yield from self.write_inode(ip, sync=True)
+        yield from dirops.enter(self, dir_vn.inode, name, ip.ino)
+        self.stats.incr("links")
+
+    def unlink(self, path: str) -> Generator[Any, Any, None]:
+        """Remove a file: directory entry, pages, blocks, inode."""
+        dir_vn, name = yield from self._dir_and_name(path)
+        ino = yield from dirops.lookup(self, dir_vn.inode, name)
+        if ino is None:
+            raise FileNotFoundError_(path)
+        vn = yield from self.iget(ino)
+        ip = vn.inode
+        if ip.is_dir:
+            raise IsADirectoryError_(path)
+        yield from dirops.remove(self, dir_vn.inode, name)
+        ip.nlink -= 1
+        if ip.nlink > 0:
+            yield from self.write_inode(ip, sync=True)
+            return
+        # Last link: remove backing store (frees every cached page), free
+        # the blocks and the inode.
+        for page in self.pagecache.vnode_pages(vn):
+            if page.locked:
+                yield from page.wait_unlocked()
+        self.pagecache.vnode_invalidate(vn)
+        yield from self._release_file_blocks(ip)
+        ip.mode = 0
+        yield from self.write_inode(ip, sync=True)
+        self.allocator.free_inode(ino, was_dir=False)
+        self._icache.pop(ino, None)
+        self._vnodes.pop(ino, None)
+        self.stats.incr("unlinks")
+
+    def _release_file_blocks(self, ip: Inode) -> Generator[Any, Any, None]:
+        """Free an inode's blocks; a fast symlink's "pointers" are target
+        bytes and must not be fed to the allocator."""
+        if ip.is_symlink:
+            if ip.size > self.FAST_SYMLINK_MAX:
+                nfrags = max(1, -(-ip.size // self.sb.fsize))
+                self.metacache.drop(ip.direct[0])
+                self.allocator.free_frags(ip, ip.direct[0], nfrags)
+            ip.direct = [0] * NDADDR
+            ip.indirect = 0
+            ip.dindirect = 0
+            ip.blocks = 0
+            ip.size = 0
+            ip.mark_dirty()
+            return
+        yield from bmap.truncate_blocks(self, ip)
+
+    def rmdir(self, path: str) -> Generator[Any, Any, None]:
+        dir_vn, name = yield from self._dir_and_name(path)
+        parent = dir_vn.inode
+        ino = yield from dirops.lookup(self, parent, name)
+        if ino is None:
+            raise FileNotFoundError_(path)
+        vn = yield from self.iget(ino)
+        ip = vn.inode
+        if not ip.is_dir:
+            raise NotADirectoryError_(path)
+        empty = yield from dirops.is_empty(self, ip)
+        if not empty:
+            raise DirectoryNotEmptyError(path)
+        yield from dirops.remove(self, parent, name)
+        parent.nlink -= 1
+        yield from self.write_inode(parent, sync=True)
+        yield from bmap.truncate_blocks(self, ip)
+        ip.mode = 0
+        ip.nlink = 0
+        yield from self.write_inode(ip, sync=True)
+        self.allocator.free_inode(ino, was_dir=True)
+        self._icache.pop(ino, None)
+        self._vnodes.pop(ino, None)
+        self.stats.incr("rmdirs")
+
+    def readdir(self, path: str) -> Generator[Any, Any, list[tuple[str, int]]]:
+        vn = yield from self.namei(path)
+        if not vn.inode.is_dir:
+            raise NotADirectoryError_(path)
+        return (yield from dirops.entries(self, vn.inode))
+
+    def truncate(self, path: str) -> Generator[Any, Any, None]:
+        """Truncate a file to zero length (frees all blocks)."""
+        vn = yield from self.namei(path)
+        ip = vn.inode
+        if ip.is_dir:
+            raise IsADirectoryError_(path)
+        for page in self.pagecache.vnode_pages(vn):
+            if page.locked:
+                yield from page.wait_unlocked()
+        self.pagecache.vnode_invalidate(vn)
+        yield from bmap.truncate_blocks(self, ip)
+        yield from self.write_inode(ip, sync=True)
+
+    # -- reporting ----------------------------------------------------------------------------------
+    def free_space(self) -> tuple[int, int]:
+        """(free blocks, free fragments) from the superblock summary."""
+        return self.sb.cs_nbfree, self.sb.cs_nffree

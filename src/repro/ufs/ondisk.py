@@ -1,0 +1,356 @@
+"""On-disk structures: superblock, cylinder group, dinode, directory entry.
+
+Everything here is real bytes: the structures are packed with :mod:`struct`
+into the simulated disk's sectors, and ``fsck`` re-reads and validates them.
+The layout is a cleaned-up FFS:
+
+* sector 0-15: boot area (block 0, unused)
+* block 1: superblock
+* cylinder group *i* occupies ``fpg`` fragments starting at ``cgbase(i)``:
+  a header block (with both bitmaps inline), the inode blocks, then data.
+  Group 0's header follows the boot and superblock blocks.
+
+All block pointers are *fragment addresses* (like FFS); fragment address 0
+is the boot block, which is never allocatable, so 0 doubles as the hole
+marker in inode pointers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptionError
+
+SUPERBLOCK_MAGIC = 0x011954  # FS_MAGIC, as a tip of the hat
+CG_MAGIC = 0x090255
+DINODE_SIZE = 128
+INODES_PER_BLOCK_ALIGN = 64  # ipg is rounded to a whole number of blocks
+NDADDR = 12  # direct block pointers per dinode
+DIRBLKSIZ = 512  # directory entries never span a 512-byte boundary
+MAX_NAMELEN = 59
+ROOT_INO = 2  # inode 0 unused, inode 1 historically bad-blocks
+
+# File type bits (stored in dinode.mode).
+IFREG = 0o100000
+IFDIR = 0o040000
+IFLNK = 0o120000
+IFMT = 0o170000
+
+
+def _unpack_exact(fmt: str, data: bytes, what: str) -> tuple:
+    size = struct.calcsize(fmt)
+    if len(data) < size:
+        raise CorruptionError(f"short {what}: {len(data)} < {size} bytes")
+    return struct.unpack(fmt, data[:size])
+
+
+@dataclass
+class Superblock:
+    """The file system's description of itself."""
+
+    # magic, 11 ints, rotdelay float, rps, 5 64-bit counters, clean flag
+    _FMT = "<I" + "i" * 11 + "f" + "i" + "Q" * 5 + "I"
+
+    magic: int
+    bsize: int
+    fsize: int
+    nsect: int  # sectors per track
+    ntrak: int  # heads
+    ncyl: int
+    cpg: int
+    fpg: int  # fragments per cylinder group
+    ipg: int  # inodes per cylinder group
+    ncg: int
+    minfree: int  # percent
+    maxcontig: int
+    rotdelay_ms: float
+    rps: int  # rotations per second
+    total_frags: int
+    cs_ndir: int = 0
+    cs_nbfree: int = 0
+    cs_nifree: int = 0
+    cs_nffree: int = 0
+    clean: int = 1
+
+    @property
+    def frag(self) -> int:
+        return self.bsize // self.fsize
+
+    @property
+    def frags_per_block(self) -> int:
+        return self.bsize // self.fsize
+
+    @property
+    def spc(self) -> int:
+        """Sectors per cylinder."""
+        return self.nsect * self.ntrak
+
+    def fsb_to_sector(self, frag_addr: int) -> int:
+        """Fragment address -> disk sector (fsbtodb)."""
+        return frag_addr * (self.fsize // 512)
+
+    @property
+    def inode_blocks_per_group(self) -> int:
+        return (self.ipg * DINODE_SIZE) // self.bsize
+
+    def cgbase(self, cgx: int) -> int:
+        """First fragment of cylinder group ``cgx``."""
+        if not 0 <= cgx < self.ncg:
+            raise ValueError(f"cylinder group {cgx} out of range")
+        return cgx * self.fpg
+
+    def cg_header_frag(self, cgx: int) -> int:
+        """Fragment address of the group's header block."""
+        base = self.cgbase(cgx)
+        if cgx == 0:
+            return base + 2 * self.frag  # past boot block and superblock
+        return base + 0
+
+    def cg_inode_frag(self, cgx: int) -> int:
+        """Fragment address of the group's first inode block."""
+        return self.cg_header_frag(cgx) + self.frag
+
+    def cg_data_frag(self, cgx: int) -> int:
+        """Fragment address of the group's first data fragment."""
+        return self.cg_inode_frag(cgx) + self.inode_blocks_per_group * self.frag
+
+    def cg_end_frag(self, cgx: int) -> int:
+        """One past the group's last fragment (last group may be short)."""
+        return min(self.cgbase(cgx) + self.fpg, self.total_frags)
+
+    def cg_of_frag(self, frag_addr: int) -> int:
+        return frag_addr // self.fpg
+
+    def cg_of_inode(self, ino: int) -> int:
+        return ino // self.ipg
+
+    def inode_location(self, ino: int) -> tuple[int, int]:
+        """(fragment address of the block, byte offset in it) for ``ino``."""
+        if not 0 <= ino < self.ncg * self.ipg:
+            raise ValueError(f"inode {ino} out of range")
+        cgx = ino // self.ipg
+        index = ino % self.ipg
+        per_block = self.bsize // DINODE_SIZE
+        block = index // per_block
+        return (
+            self.cg_inode_frag(cgx) + block * self.frag,
+            (index % per_block) * DINODE_SIZE,
+        )
+
+    def pack(self) -> bytes:
+        data = struct.pack(
+            self._FMT, self.magic, self.bsize, self.fsize, self.nsect,
+            self.ntrak, self.ncyl, self.cpg, self.fpg, self.ipg, self.ncg,
+            self.minfree, self.maxcontig, self.rotdelay_ms, self.rps,
+            self.total_frags, self.cs_ndir, self.cs_nbfree, self.cs_nifree,
+            self.cs_nffree, self.clean,
+        )
+        return data.ljust(self.bsize, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Superblock":
+        values = _unpack_exact(cls._FMT, data, "superblock")
+        sb = cls(*values)
+        if sb.magic != SUPERBLOCK_MAGIC:
+            raise CorruptionError(f"bad superblock magic {sb.magic:#x}")
+        if sb.bsize <= 0 or sb.fsize <= 0 or sb.bsize % sb.fsize:
+            raise CorruptionError("superblock block/fragment sizes invalid")
+        return sb
+
+
+@dataclass
+class CylinderGroup:
+    """One cylinder group: counters plus the fragment and inode bitmaps.
+
+    Bitmaps are bytearrays, one bit per fragment / inode; bit set = free.
+    """
+
+    _FMT = "<IIIIIIIII"
+
+    magic: int
+    cgx: int
+    ndblk: int  # fragments in this group (including metadata area)
+    nbfree: int  # free full blocks
+    nffree: int  # free fragments not part of free full blocks
+    nifree: int
+    ndir: int
+    frag_rotor: int
+    inode_rotor: int
+    frag_bitmap: bytearray = field(default_factory=bytearray)
+    inode_bitmap: bytearray = field(default_factory=bytearray)
+
+    def pack(self, sb: Superblock) -> bytes:
+        frag_bytes = (sb.fpg + 7) // 8
+        inode_bytes = (sb.ipg + 7) // 8
+        head = struct.pack(
+            self._FMT, self.magic, self.cgx, self.ndblk, self.nbfree,
+            self.nffree, self.nifree, self.ndir, self.frag_rotor,
+            self.inode_rotor,
+        )
+        data = head + bytes(self.frag_bitmap.ljust(frag_bytes, b"\x00"))
+        data += bytes(self.inode_bitmap.ljust(inode_bytes, b"\x00"))
+        if len(data) > sb.bsize:
+            raise CorruptionError("cylinder group header exceeds one block")
+        return data.ljust(sb.bsize, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes, sb: Superblock) -> "CylinderGroup":
+        values = _unpack_exact(cls._FMT, data, "cylinder group")
+        cg = cls(*values)
+        if cg.magic != CG_MAGIC:
+            raise CorruptionError(f"bad cylinder group magic {cg.magic:#x}")
+        head = struct.calcsize(cls._FMT)
+        frag_bytes = (sb.fpg + 7) // 8
+        inode_bytes = (sb.ipg + 7) // 8
+        cg.frag_bitmap = bytearray(data[head:head + frag_bytes])
+        cg.inode_bitmap = bytearray(
+            data[head + frag_bytes:head + frag_bytes + inode_bytes]
+        )
+        return cg
+
+    # -- bitmap helpers (bit set = free) -------------------------------------
+    @staticmethod
+    def _get(bitmap: bytearray, i: int) -> bool:
+        return bool(bitmap[i >> 3] & (1 << (i & 7)))
+
+    @staticmethod
+    def _set(bitmap: bytearray, i: int, free: bool) -> None:
+        if free:
+            bitmap[i >> 3] |= 1 << (i & 7)
+        else:
+            bitmap[i >> 3] &= ~(1 << (i & 7)) & 0xFF
+
+    def frag_is_free(self, rel_frag: int) -> bool:
+        return self._get(self.frag_bitmap, rel_frag)
+
+    def set_frag(self, rel_frag: int, free: bool) -> None:
+        self._set(self.frag_bitmap, rel_frag, free)
+
+    def inode_is_free(self, rel_ino: int) -> bool:
+        return self._get(self.inode_bitmap, rel_ino)
+
+    def set_inode(self, rel_ino: int, free: bool) -> None:
+        self._set(self.inode_bitmap, rel_ino, free)
+
+    def block_is_free(self, rel_block_frag: int, frag: int) -> bool:
+        """True if the whole (aligned) block starting at ``rel_block_frag``
+        is free."""
+        return all(self.frag_is_free(rel_block_frag + i) for i in range(frag))
+
+
+@dataclass
+class Dinode:
+    """The on-disk inode: 128 bytes."""
+
+    _FMT = "<HHIQIII" + "I" * NDADDR + "IIII"
+
+    mode: int = 0
+    nlink: int = 0
+    uid: int = 0
+    size: int = 0
+    atime: int = 0
+    mtime: int = 0
+    ctime: int = 0
+    direct: tuple[int, ...] = (0,) * NDADDR
+    indirect: int = 0
+    dindirect: int = 0
+    blocks: int = 0  # fragments held, for du/stat
+    gen: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.direct) != NDADDR:
+            raise ValueError(f"direct pointer list must have {NDADDR} entries")
+        self.direct = tuple(self.direct)
+
+    @property
+    def is_allocated(self) -> bool:
+        return self.mode != 0
+
+    @property
+    def is_dir(self) -> bool:
+        return (self.mode & IFMT) == IFDIR
+
+    @property
+    def is_reg(self) -> bool:
+        return (self.mode & IFMT) == IFREG
+
+    def pack(self) -> bytes:
+        data = struct.pack(
+            self._FMT, self.mode, self.nlink, self.uid, self.size,
+            self.atime, self.mtime, self.ctime, *self.direct,
+            self.indirect, self.dindirect, self.blocks, self.gen,
+        )
+        assert len(data) <= DINODE_SIZE
+        return data.ljust(DINODE_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Dinode":
+        values = _unpack_exact(cls._FMT, data, "dinode")
+        mode, nlink, uid, size, atime, mtime, ctime = values[:7]
+        direct = values[7:7 + NDADDR]
+        indirect, dindirect, blocks, gen = values[7 + NDADDR:]
+        return cls(mode, nlink, uid, size, atime, mtime, ctime,
+                   tuple(direct), indirect, dindirect, blocks, gen)
+
+
+@dataclass(frozen=True)
+class Dirent:
+    """One directory entry."""
+
+    ino: int
+    name: str
+
+    _HEAD = "<IHH"
+
+    def __post_init__(self) -> None:
+        if not self.name or len(self.name) > MAX_NAMELEN:
+            raise ValueError(f"bad name length for {self.name!r}")
+        if "/" in self.name or "\x00" in self.name:
+            raise ValueError(f"illegal character in name {self.name!r}")
+
+    @property
+    def reclen_needed(self) -> int:
+        """Bytes needed: header + name, rounded to 4."""
+        head = struct.calcsize(self._HEAD)
+        return (head + len(self.name.encode()) + 3) & ~3
+
+
+def pack_dirent(ino: int, name: str, reclen: int) -> bytes:
+    """Pack one directory entry into exactly ``reclen`` bytes."""
+    encoded = name.encode()
+    head = struct.pack(Dirent._HEAD, ino, reclen, len(encoded))
+    body = head + encoded
+    if len(body) > reclen:
+        raise ValueError("reclen too small for entry")
+    return body.ljust(reclen, b"\x00")
+
+
+def empty_dirblock(bsize: int) -> bytes:
+    """A directory block of entirely free slots (one per DIRBLKSIZ chunk)."""
+    slot = struct.pack(Dirent._HEAD, 0, DIRBLKSIZ, 0).ljust(DIRBLKSIZ, b"\x00")
+    return slot * (bsize // DIRBLKSIZ)
+
+
+def iter_dirents(block: bytes) -> "list[tuple[int, int, str]]":
+    """Yield (offset, ino, name) for every live entry in a directory block.
+
+    Entries never cross DIRBLKSIZ boundaries; an entry with ino == 0 is a
+    deleted slot whose reclen still consumes space.
+    """
+    head_size = struct.calcsize(Dirent._HEAD)
+    entries = []
+    for chunk_start in range(0, len(block), DIRBLKSIZ):
+        offset = chunk_start
+        chunk_end = min(chunk_start + DIRBLKSIZ, len(block))
+        while offset < chunk_end:
+            ino, reclen, namelen = struct.unpack_from(Dirent._HEAD, block, offset)
+            if reclen < head_size or offset + reclen > chunk_end or reclen % 4:
+                raise CorruptionError(
+                    f"bad directory reclen {reclen} at offset {offset}"
+                )
+            if ino != 0:
+                name = block[offset + head_size:offset + head_size + namelen].decode()
+                entries.append((offset, ino, name))
+            offset += reclen
+    return entries

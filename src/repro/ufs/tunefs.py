@@ -1,0 +1,43 @@
+"""tunefs: re-tune an existing file system without reformatting.
+
+This is the administrative half of the paper's claim: because the on-disk
+format never changed, a stock 4.1 file system becomes a clustered one by
+flipping two superblock fields — "previously, when rotdelay was zero,
+maxcontig had no meaning, but now it always indicates cluster size."
+Existing data is untouched (and stays readable); only future allocation
+and I/O policy change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidArgumentError
+from repro.ufs.ondisk import Superblock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.disk.store import DiskStore
+
+
+def tunefs(store: "DiskStore", rotdelay_ms: float | None = None,
+           maxcontig: int | None = None,
+           minfree_pct: int | None = None) -> Superblock:
+    """Adjust tunable superblock fields in place; returns the new superblock.
+
+    Offline tool (run against an unmounted store), like the real one.
+    """
+    sb = Superblock.unpack(store.read(16, 16))
+    if rotdelay_ms is not None:
+        if rotdelay_ms < 0:
+            raise InvalidArgumentError("rotdelay must be >= 0")
+        sb.rotdelay_ms = rotdelay_ms
+    if maxcontig is not None:
+        if maxcontig < 1:
+            raise InvalidArgumentError("maxcontig must be >= 1")
+        sb.maxcontig = maxcontig
+    if minfree_pct is not None:
+        if not 0 <= minfree_pct < 50:
+            raise InvalidArgumentError("minfree must be in [0, 50)")
+        sb.minfree = minfree_pct
+    store.write(16, sb.pack())
+    return sb

@@ -1,0 +1,64 @@
+"""The UFS vnode: the VFS face of an inode."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.ufs import io
+from repro.vfs.vnode import PutFlags, RW, Vnode, VnodeType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ufs.inode import Inode
+    from repro.ufs.mount import UfsMount
+    from repro.vm.page import Page
+
+
+class UfsVnode(Vnode):
+    """A UFS file as the kernel sees it."""
+
+    def __init__(self, mount: "UfsMount", inode: "Inode"):
+        vtype = VnodeType.DIRECTORY if inode.is_dir else VnodeType.REGULAR
+        super().__init__(vtype)
+        self.mount = mount
+        self.inode = inode
+
+    @property
+    def size(self) -> int:
+        return self.inode.size
+
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int"
+             ) -> Generator[Any, Any, "bytes | int"]:
+        return (yield from io.ufs_rdwr(self, rw, offset, payload))
+
+    def getpage(self, offset: int, rw: RW = RW.READ) -> Generator[Any, Any, "Page"]:
+        return (yield from io.ufs_getpage(self, offset, rw))
+
+    def putpage(self, offset: int, length: int, flags: PutFlags
+                ) -> Generator[Any, Any, None]:
+        yield from io.ufs_putpage(self, offset, length, flags)
+
+    def allocate_backing(self, offset: int) -> Generator[Any, Any, None]:
+        """Ensure the block at ``offset`` has backing store (the write-fault
+        half of the UFS_HOLE discipline for mapped writes)."""
+        from repro.ufs import bmap
+        from repro.ufs.io import _frags_for
+
+        ip = self.inode
+        sb = self.mount.sb
+        if offset >= ip.size:
+            from repro.errors import InvalidArgumentError
+
+            raise InvalidArgumentError("mapped write past end of file")
+        lbn = offset // sb.bsize
+        yield from bmap.bmap_alloc(self.mount, ip, lbn,
+                                   _frags_for(sb, lbn, ip.size))
+        ip.inline_data = None  # a mapped store bypasses rdwr's invalidation
+
+    def fsync(self) -> Generator[Any, Any, None]:
+        """Flush data pages, then the inode, synchronously."""
+        if self.inode.size > 0:
+            yield from io.ufs_putpage(self, 0, self.inode.size, PutFlags())
+        yield from self.mount.write_inode(self.inode, sync=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UfsVnode ino={self.inode.ino} size={self.inode.size}>"

@@ -1,0 +1,92 @@
+"""specfs: the raw disk as a vnode.
+
+The paper's first rejected alternative: "Get rid of the file system
+altogether by using the raw disk...  There is no file system, no file
+abstraction, no read ahead, no caching."  Databases did exactly this; we
+provide it both as a baseline for the benchmarks and as the device path
+``mkfs``/``fsck`` use.
+
+Raw I/O goes straight to the driver: one buf per call, fully synchronous,
+no page cache involvement.  Offsets and lengths must be sector aligned,
+as with real character devices.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.disk.buf import Buf, BufOp
+from repro.vfs.vnode import PutFlags, RW, Vnode, VnodeType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu import Cpu
+    from repro.disk.driver import DiskDriver
+    from repro.sim.engine import Engine
+    from repro.vm.page import Page
+
+
+class RawDiskVnode(Vnode):
+    """``/dev/rsd0``: the whole disk, one byte stream, no cache."""
+
+    def __init__(self, engine: "Engine", driver: "DiskDriver", cpu: "Cpu"):
+        super().__init__(VnodeType.BLOCK)
+        self.engine = engine
+        self.driver = driver
+        self.cpu = cpu
+        self.sector_size = driver.disk.geometry.sector_size
+
+    @property
+    def size(self) -> int:
+        return self.driver.disk.geometry.capacity_bytes
+
+    def _check_aligned(self, offset: int, length: int) -> None:
+        if offset < 0 or length <= 0:
+            raise ValueError("offset must be >= 0 and length positive")
+        if offset % self.sector_size or length % self.sector_size:
+            raise ValueError(
+                f"raw disk I/O must be {self.sector_size}-byte aligned "
+                f"(offset={offset}, length={length})"
+            )
+        if offset + length > self.size:
+            raise ValueError("raw I/O beyond end of device")
+
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int") -> Generator[Any, Any, bytes | int]:
+        """Synchronous raw read/write; "a direct interface plus a few
+        permission checks"."""
+        costs = self.cpu.costs
+        yield from self.cpu.work("syscall", costs.syscall)
+        if rw is RW.READ:
+            assert isinstance(payload, int)
+            self._check_aligned(offset, payload)
+            buf = Buf(
+                self.engine, BufOp.READ,
+                sector=offset // self.sector_size,
+                nsectors=payload // self.sector_size,
+            )
+            yield from self.cpu.work("driver", costs.driver_strategy)
+            self.driver.strategy(buf)
+            yield buf.done
+            assert buf.data is not None
+            yield from self.cpu.copy("copyout", len(buf.data))
+            return buf.data
+        data = bytes(payload)  # type: ignore[arg-type]
+        self._check_aligned(offset, len(data))
+        yield from self.cpu.copy("copyin", len(data))
+        buf = Buf(
+            self.engine, BufOp.WRITE,
+            sector=offset // self.sector_size,
+            nsectors=len(data) // self.sector_size,
+            data=data,
+        )
+        yield from self.cpu.work("driver", costs.driver_strategy)
+        self.driver.strategy(buf)
+        yield buf.done
+        return len(data)
+
+    def getpage(self, offset: int, rw: RW = RW.READ) -> Generator[Any, Any, "Page"]:
+        raise NotImplementedError("raw disk is not pageable")
+        yield  # pragma: no cover
+
+    def putpage(self, offset: int, length: int, flags: PutFlags) -> Generator[Any, Any, None]:
+        raise NotImplementedError("raw disk is not pageable")
+        yield  # pragma: no cover

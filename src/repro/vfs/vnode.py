@@ -1,0 +1,120 @@
+"""vnode / vfs interfaces.
+
+Each file system type implements two object classes, *vfs* and *vnode*
+[Kleiman].  Only the operations this reproduction exercises are declared:
+``rdwr`` (read/write syscalls), ``getpage``/``putpage`` (where the I/O
+happens), ``fsync``, and directory operations for the real file systems.
+
+All operations that may perform I/O are generators (simulation processes);
+call them with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.vm.page import Page
+
+_vnode_ids = count(1)
+
+
+class VnodeType(enum.Enum):
+    """File type, as far as this reproduction needs."""
+
+    REGULAR = "VREG"
+    DIRECTORY = "VDIR"
+    BLOCK = "VBLK"
+
+
+class RW(enum.Enum):
+    """Direction of an rdwr call (UIO_READ / UIO_WRITE)."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class PutFlags:
+    """How a putpage call should behave.
+
+    ``delay``
+        The delayed-write path used when ufs_rdwr unmaps a dirty page; this
+        is where the paper's write clustering lives ("pretend the I/O
+        completed immediately").
+    ``async_``
+        Start the write but do not wait for it (B_ASYNC).
+    ``free``
+        Free the page once clean (B_FREE) — free-behind and pageout use it.
+    ``invalidate``
+        Destroy the page after the write (B_INVAL).
+    """
+
+    delay: bool = False
+    async_: bool = False
+    free: bool = False
+    invalidate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delay and (self.async_ or self.invalidate):
+            raise ValueError("delayed writes cannot also be async/invalidate")
+
+
+class Vnode(ABC):
+    """A file, as seen by the kernel."""
+
+    def __init__(self, vtype: VnodeType):
+        self.vnode_id = next(_vnode_ids)
+        self.vtype = vtype
+
+    # -- data plane --------------------------------------------------------
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Current file size in bytes."""
+
+    @abstractmethod
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int") -> Generator[Any, Any, bytes | int]:
+        """Read or write at ``offset``.
+
+        For ``RW.READ``, ``payload`` is a byte count; returns the bytes read
+        (may be short at EOF).  For ``RW.WRITE``, ``payload`` is the data;
+        returns the byte count written.
+        """
+
+    @abstractmethod
+    def getpage(self, offset: int, rw: RW = RW.READ) -> Generator[Any, Any, "Page"]:
+        """Return the page at ``offset``, reading it in if necessary."""
+
+    @abstractmethod
+    def putpage(self, offset: int, length: int, flags: PutFlags) -> Generator[Any, Any, None]:
+        """Write pages in ``[offset, offset+length)`` back to storage."""
+
+    def fsync(self) -> Generator[Any, Any, None]:
+        """Flush all dirty pages synchronously (default: via putpage)."""
+        yield from self.putpage(0, max(self.size, 0), PutFlags())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} v{self.vnode_id} {self.vtype.value}>"
+
+
+class Vfs(ABC):
+    """A mounted instance of a file system."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    @abstractmethod
+    def root(self) -> Vnode:
+        """The root vnode of this file system."""
+
+    def sync(self) -> Generator[Any, Any, None]:
+        """Flush file system state (default: nothing)."""
+        return
+        yield  # pragma: no cover - makes this a generator

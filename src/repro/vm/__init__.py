@@ -1,0 +1,32 @@
+"""The SunOS-style virtual memory system.
+
+The paper's VM background section describes the machinery reproduced here:
+
+* a **unified page cache**: every page is named ``<vnode, offset>``; there is
+  no separate buffer cache, so "all of memory may be an I/O cache";
+* page frames are recycled from a **free list** whose pages keep their
+  identity until reused, so a lookup can *reclaim* a free page (the cache
+  effect clustering must not destroy);
+* the **pageout daemon** implements the two-handed clock: the front hand
+  clears reference bits, the back hand frees (or writes back) pages whose
+  bit is still clear, running only when free memory drops below ``lotsfree``.
+
+The page-thrashing problem in the paper ("pages were entering the system at
+a higher rate than they could be freed") and its free-behind fix are
+interactions between this package and :mod:`repro.ufs`.
+"""
+
+from repro.vm.addrspace import AddressSpace, Segment, SegmentationFault
+from repro.vm.page import Page
+from repro.vm.pagecache import PageCache
+from repro.vm.pageout import PageoutDaemon, PageoutParams
+
+__all__ = [
+    "AddressSpace",
+    "Page",
+    "PageCache",
+    "PageoutDaemon",
+    "PageoutParams",
+    "Segment",
+    "SegmentationFault",
+]

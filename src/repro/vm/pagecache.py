@@ -1,0 +1,201 @@
+"""The unified page cache: a fixed pool of frames, a name hash, a free list.
+
+Allocation discipline (mirrors SunOS):
+
+* ``lookup`` finds a named page; if it is on the free list it is *reclaimed*
+  (cache hit on a free page — the caching effect the paper is careful to
+  preserve for small files).
+* ``allocate`` takes the oldest free frame, stripping its old identity if it
+  had one.  When the free list is empty the caller must wait for memory
+  (``wait_for_memory``), which nudges the pageout daemon.
+* ``free`` puts a page at the tail of the free list *keeping its name*;
+  ``free_front`` puts it at the head (used by free-behind: sequential I/O
+  pages are unlikely to be reused, so they are the best candidates for
+  immediate recycling).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.sim.events import Event
+from repro.sim.resources import Signal
+from repro.sim.stats import StatSet, TimeWeighted
+from repro.units import KB
+from repro.vm.page import Page
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.vfs.vnode import Vnode
+
+
+class PageCache:
+    """All of physical memory, managed as a cache of vnode pages."""
+
+    def __init__(self, engine: "Engine", memory_bytes: int,
+                 page_size: int = 8 * KB, reserved_pages: int = 0):
+        if memory_bytes <= 0 or page_size <= 0:
+            raise ValueError("memory and page size must be positive")
+        if memory_bytes % page_size != 0:
+            raise ValueError("memory size must be a multiple of the page size")
+        self.engine = engine
+        self.page_size = page_size
+        total = memory_bytes // page_size
+        if reserved_pages < 0 or reserved_pages >= total:
+            raise ValueError("reserved_pages must be in [0, total)")
+        #: Frames usable by the page cache (kernel + process memory removed).
+        self.total_pages = total - reserved_pages
+        self.frames: list[Page] = [
+            Page(engine, frame, page_size) for frame in range(self.total_pages)
+        ]
+        self._hash: dict[tuple[int, int], Page] = {}
+        # Free list keyed by frame number; ordered oldest-freed first.
+        self._freelist: OrderedDict[int, Page] = OrderedDict(
+            (p.frame, p) for p in self.frames
+        )
+        self.memory_wanted = Signal(engine, name="memwait")
+        self.low_memory = Signal(engine, name="lowmem")
+        #: Free-page threshold below which low_memory fires (the pageout
+        #: daemon sets this to its lotsfree).
+        self.low_water = 0
+        self.stats = StatSet("pagecache")
+        self.freemem_track = TimeWeighted(engine, self.total_pages)
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def freemem(self) -> int:
+        """Number of frames on the free list."""
+        return len(self._freelist)
+
+    @property
+    def named_pages(self) -> int:
+        """Number of frames holding a cached vnode page."""
+        return len(self._hash)
+
+    def _key(self, vnode: "Vnode", offset: int) -> tuple[int, int]:
+        return (vnode.vnode_id, offset)
+
+    # -- lookup / reclaim --------------------------------------------------------
+    def lookup(self, vnode: "Vnode", offset: int) -> Page | None:
+        """Find the page caching ``<vnode, offset>``, reclaiming if free."""
+        page = self._hash.get(self._key(vnode, offset))
+        if page is None:
+            self.stats.incr("misses")
+            return None
+        if page.free:
+            # Reclaim from the free list: the frame still held our data.
+            del self._freelist[page.frame]
+            page.free = False
+            self.freemem_track.set(self.freemem)
+            self.stats.incr("reclaims")
+            if self.freemem < self.low_water:
+                self.low_memory.fire()
+        self.stats.incr("hits")
+        return page
+
+    # -- allocation -----------------------------------------------------------------
+    def allocate(self, vnode: "Vnode", offset: int) -> Page | None:
+        """Take a free frame and name it ``<vnode, offset>``, locked.
+
+        Returns None when no memory is free — the caller should
+        ``yield from wait_for_memory()`` and retry.  The named page must not
+        already be cached (callers look up first).
+        """
+        key = self._key(vnode, offset)
+        if key in self._hash:
+            raise RuntimeError(f"page {key} already cached; lookup() first")
+        if not self._freelist:
+            self.stats.incr("allocation_shortfalls")
+            return None
+        _, page = self._freelist.popitem(last=False)
+        page.free = False
+        if page.named:
+            # Steal the oldest free frame from whatever it used to cache.
+            del self._hash[self._key(page.vnode, page.offset)]
+            page.unname()
+            self.stats.incr("identity_steals")
+        page.name(vnode, offset)
+        page.lock()
+        self._hash[key] = page
+        self.stats.incr("allocations")
+        self.freemem_track.set(self.freemem)
+        if self.freemem < self.low_water:
+            self.low_memory.fire()
+        return page
+
+    def wait_for_memory(self) -> Generator[Event, Any, None]:
+        """Block until a frame is freed; pokes the low-memory signal."""
+        self.stats.incr("memory_waits")
+        self.low_memory.fire()
+        yield self.memory_wanted.wait()
+
+    # -- freeing ----------------------------------------------------------------------
+    def free(self, page: Page, front: bool = False) -> None:
+        """Return a frame to the free list (keeping its identity).
+
+        ``front=True`` queues it for immediate reuse (free-behind), because
+        sequentially-read pages are the least likely to be referenced again.
+        """
+        if page.free:
+            raise RuntimeError(f"frame {page.frame} already free")
+        if page.locked:
+            raise RuntimeError(f"cannot free locked frame {page.frame}")
+        if page.dirty:
+            raise RuntimeError(f"cannot free dirty frame {page.frame}; clean it first")
+        page.free = True
+        page.referenced = False
+        if front:
+            self._freelist[page.frame] = page
+            self._freelist.move_to_end(page.frame, last=False)
+            self.stats.incr("freed_front")
+        else:
+            self._freelist[page.frame] = page
+            self.stats.incr("freed")
+        self.freemem_track.set(self.freemem)
+        self.memory_wanted.fire()
+
+    def destroy(self, page: Page) -> None:
+        """Strip identity and free the frame (file truncation/unlink)."""
+        if page.locked:
+            raise RuntimeError(f"cannot destroy locked frame {page.frame}")
+        if page.named:
+            self._hash.pop(self._key(page.vnode, page.offset), None)
+        was_free = page.free
+        page.unname()
+        page.dirty = False
+        if not was_free:
+            page.free = True
+            self._freelist[page.frame] = page
+            self.freemem_track.set(self.freemem)
+            self.memory_wanted.fire()
+        self.stats.incr("destroyed")
+
+    # -- per-vnode operations -------------------------------------------------------------
+    def vnode_pages(self, vnode: "Vnode") -> list[Page]:
+        """All cached pages of ``vnode``, sorted by offset."""
+        vid = vnode.vnode_id
+        pages = [p for (v, _), p in self._hash.items() if v == vid]
+        return sorted(pages, key=lambda p: p.offset)
+
+    def vnode_invalidate(self, vnode: "Vnode") -> int:
+        """Destroy every (unlocked) page of a vnode; returns count destroyed.
+
+        Used on unlink — the paper notes removing backing store is one of
+        only two ways pages leave the system.
+        """
+        count = 0
+        for page in self.vnode_pages(vnode):
+            if page.locked:
+                raise RuntimeError("invalidate with locked pages in flight")
+            self.destroy(page)
+            count += 1
+        return count
+
+    def dirty_pages(self, vnode: "Vnode" | None = None) -> list[Page]:
+        """Dirty pages (of one vnode, or all), sorted by (vnode, offset)."""
+        pages = [
+            p for p in self._hash.values()
+            if p.dirty and (vnode is None or p.vnode is vnode)
+        ]
+        return sorted(pages, key=lambda p: (p.vnode.vnode_id, p.offset))

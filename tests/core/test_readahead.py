@@ -1,0 +1,117 @@
+"""Tests for sequential detection and read-ahead scheduling (figs 3 and 6)."""
+
+import pytest
+
+from repro.core import ReadAheadState
+
+PAGE = 8192
+
+
+def test_first_read_at_zero_is_sequential():
+    """nextr starts at 0: reading the start of the file enables read-ahead."""
+    state = ReadAheadState()
+    action = state.observe(0, PAGE, cached=False)
+    assert action.sequential
+    assert action.sync_needed
+    assert action.ra_after_sync
+
+
+def test_non_sequential_read_disables_readahead():
+    state = ReadAheadState()
+    action = state.observe(5 * PAGE, PAGE, cached=False)
+    assert not action.sequential
+    assert action.sync_needed
+    assert not action.ra_after_sync and action.ra_offset is None
+
+
+def test_pattern_reacquired_after_random_jump():
+    state = ReadAheadState()
+    state.observe(5 * PAGE, PAGE, cached=False)  # random
+    action = state.observe(6 * PAGE, PAGE, cached=False)  # 5 then 6: sequential
+    assert action.sequential
+    assert action.ra_after_sync
+
+
+def test_figure6_clustered_trace():
+    """maxcontig = 3 pages: fault 0 reads 0-2 sync and 3-5 ahead; fault 3
+    prefetches 6-8; fault 6 prefetches 9-11."""
+    state = ReadAheadState()
+    cluster = 3 * PAGE
+
+    a0 = state.observe(0, PAGE, cached=False)
+    assert a0.sync_needed and a0.ra_after_sync
+    state.issued(cluster, cluster)  # read-ahead covered [3P, 6P)
+
+    for page in (1, 2):
+        a = state.observe(page * PAGE, PAGE, cached=True)
+        assert a.sequential and not a.sync_needed
+        assert a.ra_offset is None and not a.ra_after_sync
+
+    a3 = state.observe(3 * PAGE, PAGE, cached=True)
+    assert a3.ra_offset == 6 * PAGE
+    state.issued(6 * PAGE, cluster)
+
+    for page in (4, 5):
+        assert state.observe(page * PAGE, PAGE, cached=True).ra_offset is None
+
+    a6 = state.observe(6 * PAGE, PAGE, cached=True)
+    assert a6.ra_offset == 9 * PAGE
+
+
+def test_figure3_block_trace_is_cluster_of_one():
+    """maxcontig = 1: every sequential fault prefetches the next block."""
+    state = ReadAheadState()
+    a0 = state.observe(0, PAGE, cached=False)
+    assert a0.ra_after_sync
+    state.issued(PAGE, PAGE)  # read ahead page 1
+    a1 = state.observe(PAGE, PAGE, cached=True)
+    assert a1.ra_offset == 2 * PAGE
+    state.issued(2 * PAGE, PAGE)
+    a2 = state.observe(2 * PAGE, PAGE, cached=True)
+    assert a2.ra_offset == 3 * PAGE
+
+
+def test_variable_cluster_lengths_from_bmap():
+    """The trigger adapts to whatever length bmap actually granted."""
+    state = ReadAheadState()
+    state.observe(0, PAGE, cached=False)
+    state.issued(2 * PAGE, 5 * PAGE)  # fragmented: sync got 2, RA got 5
+    assert state.observe(1 * PAGE, PAGE, cached=True).ra_offset is None
+    a = state.observe(2 * PAGE, PAGE, cached=True)
+    assert a.ra_offset == 7 * PAGE
+
+
+def test_readahead_disabled_flag():
+    state = ReadAheadState()
+    action = state.observe(0, PAGE, cached=False, readahead_enabled=False)
+    assert action.sequential and action.sync_needed
+    assert not action.ra_after_sync and action.ra_offset is None
+
+
+def test_random_jump_disarms_trigger():
+    state = ReadAheadState()
+    state.observe(0, PAGE, cached=False)
+    state.issued(PAGE, PAGE)
+    state.observe(10 * PAGE, PAGE, cached=True)  # random
+    # Returning to the old trigger offset no longer fires: pattern was lost.
+    action = state.observe(PAGE, PAGE, cached=True)
+    assert action.ra_offset is None
+
+
+def test_validation():
+    state = ReadAheadState()
+    with pytest.raises(ValueError):
+        state.observe(-1, PAGE, cached=False)
+    with pytest.raises(ValueError):
+        state.observe(0, 0, cached=False)
+    with pytest.raises(ValueError):
+        state.issued(0, 0)
+    with pytest.raises(ValueError):
+        state.issued(-PAGE, PAGE)
+
+
+def test_reset():
+    state = ReadAheadState()
+    state.observe(3 * PAGE, PAGE, cached=False)
+    state.reset()
+    assert state.observe(0, PAGE, cached=False).sequential

@@ -1,0 +1,107 @@
+"""Tests for the delayed-write cluster state machine (figs 7 and 8)."""
+
+import pytest
+
+from repro.core import WriteClusterState
+
+PAGE = 8192
+
+
+def test_figure7_trace():
+    """maxcontig = 3: lie, lie, push 0-2; lie, lie, push 3-5."""
+    state = WriteClusterState()
+    cluster = 3 * PAGE
+
+    a0 = state.offer(0, PAGE, cluster)
+    a1 = state.offer(PAGE, PAGE, cluster)
+    assert not a0.should_flush and not a1.should_flush
+    a2 = state.offer(2 * PAGE, PAGE, cluster)
+    assert a2.should_flush
+    assert (a2.flush_offset, a2.flush_len) == (0, cluster)
+    assert not a2.restarted  # the offered page is inside the flush
+
+    a3 = state.offer(3 * PAGE, PAGE, cluster)
+    a4 = state.offer(4 * PAGE, PAGE, cluster)
+    assert not a3.should_flush and not a4.should_flush
+    a5 = state.offer(5 * PAGE, PAGE, cluster)
+    assert (a5.flush_offset, a5.flush_len) == (3 * PAGE, cluster)
+
+
+def test_random_write_flushes_old_range_and_restarts():
+    state = WriteClusterState()
+    cluster = 4 * PAGE
+    state.offer(0, PAGE, cluster)
+    state.offer(PAGE, PAGE, cluster)
+    action = state.offer(10 * PAGE, PAGE, cluster)
+    assert action.should_flush and action.restarted
+    assert (action.flush_offset, action.flush_len) == (0, 2 * PAGE)
+    # The random page itself is now the delayed range.
+    assert state.delayoff == 10 * PAGE and state.delaylen == PAGE
+
+
+def test_first_offer_never_flushes():
+    state = WriteClusterState()
+    action = state.offer(7 * PAGE, PAGE, 3 * PAGE)
+    assert not action.should_flush
+    assert state.pending == PAGE
+
+
+def test_cluster_of_one_flushes_every_page():
+    """maxcontig = 1 behaves like the old per-block write path."""
+    state = WriteClusterState()
+    a0 = state.offer(0, PAGE, PAGE)
+    assert a0.should_flush and (a0.flush_offset, a0.flush_len) == (0, PAGE)
+    a1 = state.offer(PAGE, PAGE, PAGE)
+    assert a1.should_flush and (a1.flush_offset, a1.flush_len) == (PAGE, PAGE)
+
+
+def test_backward_write_restarts():
+    state = WriteClusterState()
+    cluster = 4 * PAGE
+    state.offer(5 * PAGE, PAGE, cluster)
+    action = state.offer(4 * PAGE, PAGE, cluster)
+    assert action.restarted
+    assert (action.flush_offset, action.flush_len) == (5 * PAGE, PAGE)
+
+
+def test_steal_overlapping_range():
+    state = WriteClusterState()
+    cluster = 4 * PAGE
+    state.offer(0, PAGE, cluster)
+    state.offer(PAGE, PAGE, cluster)
+    start, span = state.steal(PAGE, PAGE)
+    assert (start, span) == (0, 2 * PAGE)
+    assert state.pending == 0
+
+
+def test_steal_disjoint_range_keeps_state():
+    state = WriteClusterState()
+    cluster = 4 * PAGE
+    state.offer(0, PAGE, cluster)
+    start, span = state.steal(100 * PAGE, PAGE)
+    assert (start, span) == (0, 0)
+    assert state.pending == PAGE
+
+
+def test_steal_empty_state():
+    state = WriteClusterState()
+    assert state.steal(0, 10 * PAGE) == (0, 0)
+
+
+def test_validation():
+    state = WriteClusterState()
+    with pytest.raises(ValueError):
+        state.offer(-PAGE, PAGE, 3 * PAGE)
+    with pytest.raises(ValueError):
+        state.offer(0, 0, 3 * PAGE)
+    with pytest.raises(ValueError):
+        state.offer(0, PAGE, PAGE // 2)  # cluster smaller than a page
+    with pytest.raises(ValueError):
+        state.steal(0, -1)
+
+
+def test_reset():
+    state = WriteClusterState()
+    state.offer(0, PAGE, 4 * PAGE)
+    state.reset()
+    assert state.pending == 0

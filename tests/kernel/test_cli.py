@@ -1,0 +1,43 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_cli_requires_command():
+    result = run_cli()
+    assert result.returncode != 0
+
+
+def test_cli_help():
+    result = run_cli("--help")
+    assert result.returncode == 0
+    assert "iobench" in result.stdout
+
+
+def test_cli_cpubench():
+    result = run_cli("cpubench")
+    assert result.returncode == 0
+    assert "new:" in result.stdout and "old:" in result.stdout
+
+
+def test_cli_musbus():
+    result = run_cli("musbus", "--users", "2")
+    assert result.returncode == 0
+    assert "config A" in result.stdout
+
+
+@pytest.mark.slow
+def test_cli_iobench_small():
+    result = run_cli("iobench", "--configs", "A", "--file-mb", "2")
+    assert result.returncode == 0
+    assert "FSR" in result.stdout

@@ -1,0 +1,174 @@
+"""Tests for the syscall layer and system wiring."""
+
+import pytest
+
+from repro.disk import DiskGeometry
+from repro.errors import BadFileError, FileNotFoundError_, InvalidArgumentError
+from repro.kernel import Proc, SEEK_CUR, SEEK_END, SEEK_SET, System, SystemConfig
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def system():
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=200, heads=4,
+                                      sectors_per_track=32))
+    return System.booted(cfg)
+
+
+@pytest.fixture
+def proc(system):
+    return Proc(system)
+
+
+def test_open_missing_without_create(system, proc):
+    with pytest.raises(FileNotFoundError_):
+        system.run(proc.open("/nope"))
+
+
+def test_open_create_then_reopen(system, proc):
+    def work():
+        fd = yield from proc.open("/f", create=True)
+        yield from proc.close(fd)
+        fd2 = yield from proc.open("/f")
+        return fd, fd2
+
+    fd, fd2 = system.run(work())
+    assert fd != fd2
+
+
+def test_fd_lifecycle(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.close(fd)
+        yield from proc.read(fd, 10)
+
+    with pytest.raises(BadFileError):
+        system.run(work())
+
+
+def test_sequential_offset_tracking(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"abc")
+        yield from proc.write(fd, b"def")
+        yield from proc.lseek(fd, 0)
+        return (yield from proc.read(fd, 6))
+
+    assert system.run(work()) == b"abcdef"
+
+
+def test_lseek_whences(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, bytes(100))
+        a = yield from proc.lseek(fd, 10, SEEK_SET)
+        b = yield from proc.lseek(fd, 5, SEEK_CUR)
+        c = yield from proc.lseek(fd, -20, SEEK_END)
+        return a, b, c
+
+    assert system.run(work()) == (10, 15, 80)
+
+
+def test_lseek_validation(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.lseek(fd, -1, SEEK_SET)
+
+    with pytest.raises(InvalidArgumentError):
+        system.run(work())
+
+    def work2():
+        fd = yield from proc.creat("/g")
+        yield from proc.lseek(fd, 0, 99)
+
+    with pytest.raises(InvalidArgumentError):
+        system.run(work2())
+
+
+def test_mmap_read_touches_pages(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, bytes(64 * KB))
+        yield from proc.fsync(fd)
+        touched = yield from proc.mmap_read(fd, 0, 64 * KB)
+        return touched
+
+    assert system.run(work()) == 8  # 64 KB / 8 KB pages
+
+
+def test_mmap_read_requires_alignment(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, bytes(16 * KB))
+        yield from proc.mmap_read(fd, 100, 8 * KB)
+
+    with pytest.raises(InvalidArgumentError):
+        system.run(work())
+
+
+def test_syscalls_charge_cpu(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"x")
+        yield from proc.close(fd)
+
+    system.run(work())
+    assert system.cpu.ledger["syscall"] > 0
+
+
+def test_two_procs_share_the_filesystem(system):
+    a, b = Proc(system, "a"), Proc(system, "b")
+
+    def writer():
+        fd = yield from a.creat("/shared")
+        yield from a.write(fd, b"hello from a")
+        yield from a.fsync(fd)
+        yield from a.close(fd)
+
+    system.run(writer())
+
+    def reader():
+        fd = yield from b.open("/shared")
+        data = yield from b.read(fd, 100)
+        yield from b.close(fd)
+        return data
+
+    assert system.run(reader()) == b"hello from a"
+
+
+def test_system_config_presets():
+    for name in "ABCD":
+        cfg = SystemConfig.by_name(name)
+        assert cfg.name == name
+    with pytest.raises(ValueError):
+        SystemConfig.by_name("Z")
+
+
+def test_booted_system_has_everything():
+    cfg = SystemConfig.config_b().with_(
+        geometry=DiskGeometry.uniform(cylinders=100, heads=2,
+                                      sectors_per_track=32))
+    system = System.booted(cfg)
+    assert system.mount is not None
+    assert system.mount.root.inode.is_dir
+    assert system.pagecache.total_pages > 0
+    assert system.raw_disk.size == cfg.geometry.capacity_bytes
+
+
+def test_run_all_detects_deadlock(system):
+    def stuck():
+        yield system.engine.event()  # never fires
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        system.run_all([stuck()])
+
+
+def test_stat_size(system, proc):
+    def work():
+        fd = yield from proc.creat("/sized")
+        yield from proc.write(fd, bytes(12345))
+        yield from proc.close(fd)
+        return (yield from proc.stat_size("/sized"))
+
+    assert system.run(work()) == 12345

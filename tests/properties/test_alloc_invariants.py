@@ -1,0 +1,87 @@
+"""Property tests: allocator bookkeeping never drifts from the bitmaps."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.disk import DiskGeometry
+from repro.kernel import System, SystemConfig
+from repro.ufs.inode import Inode
+from repro.ufs.ondisk import Dinode, IFREG
+
+
+def build():
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=120, heads=2,
+                                      sectors_per_track=32))
+    return System.booted(cfg)
+
+
+def counters_match_bitmaps(mount):
+    sb = mount.sb
+    total_nbfree = total_nffree = 0
+    for cgx, cg in enumerate(mount.cgs):
+        base = sb.cgbase(cgx)
+        data_start = sb.cg_data_frag(cgx) - base
+        end = sb.cg_end_frag(cgx) - base
+        nbfree = nffree = 0
+        for block_rel in range(data_start, end - sb.frag + 1, sb.frag):
+            free = sum(1 for i in range(sb.frag)
+                       if cg.frag_is_free(block_rel + i))
+            if free == sb.frag:
+                nbfree += 1
+            else:
+                nffree += free
+        if (nbfree, nffree) != (cg.nbfree, cg.nffree):
+            return False
+        total_nbfree += nbfree
+        total_nffree += nffree
+    return (total_nbfree, total_nffree) == (sb.cs_nbfree, sb.cs_nffree)
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("block"), st.integers(0, 10_000)),
+    st.tuples(st.just("frags"), st.integers(0, 10_000), st.integers(1, 7)),
+    st.tuples(st.just("free"), st.integers(0, 100)),
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op_strategy, min_size=1, max_size=30))
+def test_alloc_free_keeps_counters_consistent(ops):
+    system = build()
+    mount = system.mount
+    ip = Inode(mount, 10, Dinode(mode=IFREG, nlink=1))
+    held: list[tuple[int, int]] = []  # (addr, nfrags)
+
+    def apply_all():
+        from repro.errors import NoSpaceError
+
+        for op in ops:
+            try:
+                if op[0] == "block":
+                    addr = yield from mount.allocator.alloc_block(ip, op[1])
+                    held.append((addr, mount.sb.frag))
+                elif op[0] == "frags":
+                    addr = yield from mount.allocator.alloc_frags(
+                        ip, op[1], op[2])
+                    held.append((addr, op[2]))
+                elif op[0] == "free" and held:
+                    addr, n = held.pop(op[1] % len(held))
+                    mount.allocator.free_frags(ip, addr, n)
+            except NoSpaceError:
+                pass
+
+    system.run(apply_all())
+    # No two held runs overlap.
+    claimed: set[int] = set()
+    for addr, n in held:
+        for f in range(addr, addr + n):
+            assert f not in claimed, "overlapping allocation"
+            claimed.add(f)
+    assert counters_match_bitmaps(mount)
+    # Freeing everything restores the bitmaps to agreement too.
+    for addr, n in held:
+        mount.allocator.free_frags(ip, addr, n)
+    assert counters_match_bitmaps(mount)
+    assert ip.blocks == 0

@@ -1,0 +1,63 @@
+"""Property: directories behave like a dict of names."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.disk import DiskGeometry
+from repro.kernel import System, SystemConfig
+from repro.ufs import dir as dirops
+from repro.ufs import fsck
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=12,
+)
+
+op_strategy = st.one_of(
+    st.tuples(st.just("enter"), names),
+    st.tuples(st.just("remove"), names),
+)
+
+
+def build():
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=150, heads=2,
+                                      sectors_per_track=32))
+    return System.booted(cfg)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op_strategy, min_size=1, max_size=40))
+def test_directory_matches_dict(ops):
+    system = build()
+    mount = system.mount
+    root = mount.root.inode
+    model: dict[str, int] = {}
+    next_ino = [10]
+
+    def apply_all():
+        from repro.errors import FileExistsError_, FilesystemError
+
+        for kind, name in ops:
+            if kind == "enter":
+                if name in model:
+                    continue
+                ino = next_ino[0]
+                next_ino[0] += 1
+                yield from dirops.enter(mount, root, name, ino)
+                model[name] = ino
+            else:
+                if name not in model:
+                    continue
+                ino = yield from dirops.remove(mount, root, name)
+                assert ino == model.pop(name)
+        # Lookups agree with the model.
+        for name, ino in model.items():
+            found = yield from dirops.lookup(mount, root, name)
+            assert found == ino
+        listing = yield from dirops.entries(mount, root)
+        real = {n: i for n, i in listing if n not in (".", "..")}
+        assert real == model
+
+    system.run(apply_all())

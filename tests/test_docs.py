@@ -1,0 +1,69 @@
+"""Documentation consistency: the docs reference things that exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.parametrize("name", [
+    "README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE", "pyproject.toml",
+])
+def test_top_level_files_exist(name):
+    assert (ROOT / name).is_file(), f"missing {name}"
+
+
+def test_design_references_real_benchmarks():
+    text = (ROOT / "DESIGN.md").read_text()
+    for match in set(re.findall(r"bench_[a-z0-9_]+\.py", text)):
+        assert (ROOT / "benchmarks" / match).is_file(), (
+            f"DESIGN.md references missing benchmark {match}"
+        )
+
+
+def test_experiments_references_real_benchmarks():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for match in set(re.findall(r"bench_[a-z0-9_]+\.py", text)):
+        assert (ROOT / "benchmarks" / match).is_file(), (
+            f"EXPERIMENTS.md references missing benchmark {match}"
+        )
+
+
+def test_readme_references_real_examples():
+    text = (ROOT / "README.md").read_text()
+    for match in set(re.findall(r"examples/([a-z0-9_]+\.py)", text)):
+        assert (ROOT / "examples" / match).is_file(), (
+            f"README.md references missing example {match}"
+        )
+
+
+def test_every_benchmark_is_indexed_in_design():
+    design = (ROOT / "DESIGN.md").read_text()
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+        assert bench.name in design or bench.name in experiments, (
+            f"{bench.name} is not indexed in DESIGN.md or EXPERIMENTS.md"
+        )
+
+
+def test_every_example_is_listed_in_readme():
+    readme = (ROOT / "README.md").read_text()
+    for example in sorted((ROOT / "examples").glob("*.py")):
+        assert example.name in readme, (
+            f"{example.name} is not listed in README.md"
+        )
+
+
+def test_paper_config_presets_match_figure9_table():
+    """The figure 9 values quoted in EXPERIMENTS.md match the code."""
+    from repro.kernel import SystemConfig
+
+    a = SystemConfig.config_a()
+    assert a.fs_params.maxcontig * a.fs_params.bsize == 120 * 1024
+    assert a.fs_params.rotdelay_ms == 0
+    assert a.tuning.freebehind and a.tuning.write_limit == 240 * 1024
+    d = SystemConfig.config_d()
+    assert d.fs_params.rotdelay_ms == 4.0
+    assert not d.tuning.freebehind and d.tuning.write_limit == 0

@@ -1,0 +1,33 @@
+"""Shared UFS test fixtures: a small, fast system."""
+
+import pytest
+
+from repro.disk import DiskGeometry
+from repro.kernel import Proc, System, SystemConfig
+
+
+def small_geometry():
+    # ~13 MB: 200 cyl x 4 heads x 32 spt x 512 B
+    return DiskGeometry.uniform(cylinders=200, heads=4, sectors_per_track=32)
+
+
+def make_system(config_name="A", **overrides):
+    cfg = SystemConfig.by_name(config_name).with_(
+        geometry=small_geometry(), **overrides
+    )
+    return System.booted(cfg)
+
+
+@pytest.fixture
+def system():
+    return make_system("A")
+
+
+@pytest.fixture
+def proc(system):
+    return Proc(system)
+
+
+@pytest.fixture
+def old_system():
+    return make_system("D")

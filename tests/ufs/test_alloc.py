@@ -1,0 +1,210 @@
+"""Tests for the FFS allocator: contiguity, rotdelay layout, fragments,
+minfree, inode placement."""
+
+import pytest
+
+from repro.errors import NoSpaceError
+from repro.ufs.inode import Inode
+from repro.ufs.ondisk import Dinode, IFDIR, IFREG
+
+from .conftest import make_system
+
+
+@pytest.fixture
+def mount(system):
+    return system.mount
+
+
+@pytest.fixture
+def ip(mount):
+    return Inode(mount, 10, Dinode(mode=IFREG, nlink=1))
+
+
+def run(system, gen):
+    return system.run(gen)
+
+
+def test_contiguous_preference_honoured(system, mount, ip):
+    """With rotdelay=0 (config A), asking blkpref for successive blocks
+    yields physically consecutive addresses."""
+    alloc = mount.allocator
+    assert alloc.rotdelay_gap_frags() == 0
+    prev = 0
+    addrs = []
+    for lbn in range(10):
+        pref = alloc.blkpref(ip, lbn, prev)
+        addr = run(system, alloc.alloc_block(ip, pref))
+        addrs.append(addr)
+        prev = addr
+    deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+    assert deltas == [mount.sb.frag] * 9
+
+
+def test_rotdelay_layout_interleaves(old_system):
+    """With rotdelay=4ms (config D), successive blocks are separated by a
+    gap — figure 4's interleaved placement."""
+    mount = old_system.mount
+    alloc = mount.allocator
+    gap = alloc.rotdelay_gap_frags()
+    assert gap > 0
+    ip = Inode(mount, 10, Dinode(mode=IFREG, nlink=1))
+    prev = 0
+    addrs = []
+    for lbn in range(6):
+        pref = alloc.blkpref(ip, lbn, prev)
+        addr = run(old_system, alloc.alloc_block(ip, pref))
+        addrs.append(addr)
+        prev = addr
+    deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+    assert deltas == [mount.sb.frag + gap] * 5
+
+
+def test_taken_block_falls_forward(system, mount, ip):
+    """If the preferred block is taken, the allocator picks the next free
+    one in the same group."""
+    alloc = mount.allocator
+    first = run(system, alloc.alloc_block(ip, mount.sb.cg_data_frag(0)))
+    second = run(system, alloc.alloc_block(ip, first))  # pref already taken
+    assert second == first + mount.sb.frag
+
+
+def test_double_alloc_detected(system, mount, ip):
+    alloc = mount.allocator
+    addr = run(system, alloc.alloc_block(ip, 0))
+    cgx = mount.sb.cg_of_frag(addr)
+    with pytest.raises(RuntimeError, match="double allocation"):
+        alloc._take_frags(cgx, addr - mount.sb.cgbase(cgx), mount.sb.frag)
+
+
+def test_free_and_refuse_double_free(system, mount, ip):
+    alloc = mount.allocator
+    before = mount.sb.cs_nbfree
+    addr = run(system, alloc.alloc_block(ip, 0))
+    assert mount.sb.cs_nbfree == before - 1
+    alloc.free_block(ip, addr)
+    assert mount.sb.cs_nbfree == before
+    with pytest.raises(RuntimeError, match="double free"):
+        alloc.free_block(ip, addr)
+
+
+def test_minfree_reserve_enforced(system, mount, ip):
+    """Block allocation fails when free space dips under the 10% reserve."""
+    alloc = mount.allocator
+    sb = mount.sb
+    reserve_frags = sb.total_frags * sb.minfree // 100
+    with pytest.raises(NoSpaceError):
+        while True:
+            run(system, alloc.alloc_block(ip, 0))
+    free_frags = sb.cs_nbfree * sb.frag + sb.cs_nffree
+    assert free_frags <= reserve_frags + sb.frag
+
+
+def test_frag_allocation_prefers_partial_blocks(system, mount, ip):
+    alloc = mount.allocator
+    sb = mount.sb
+    nbfree_before = sb.cs_nbfree
+    a = run(system, alloc.alloc_frags(ip, 0, 3))
+    # Breaking a block: one fewer free block, 5 spare frags.
+    assert sb.cs_nbfree == nbfree_before - 1
+    assert sb.cs_nffree == 5
+    b = run(system, alloc.alloc_frags(ip, 0, 2))
+    # Second run fits in the same broken block: no new block broken.
+    assert sb.cs_nbfree == nbfree_before - 1
+    assert sb.cs_nffree == 3
+    assert b // sb.frag == a // sb.frag
+
+
+def test_frag_free_reassembles_block(system, mount, ip):
+    alloc = mount.allocator
+    sb = mount.sb
+    nbfree_before = sb.cs_nbfree
+    addr = run(system, alloc.alloc_frags(ip, 0, 3))
+    alloc.free_frags(ip, addr, 3)
+    assert sb.cs_nbfree == nbfree_before
+    assert sb.cs_nffree == 0
+
+
+def test_realloc_frags_extends_in_place(system, mount, ip):
+    alloc = mount.allocator
+    addr = run(system, alloc.alloc_frags(ip, 0, 2))
+    new = run(system, alloc.realloc_frags(ip, addr, 2, 5, 0))
+    assert new == addr  # the following frags were free
+    assert ip.blocks == 5
+
+
+def test_realloc_frags_moves_when_blocked(system, mount, ip):
+    alloc = mount.allocator
+    sb = mount.sb
+    addr = run(system, alloc.alloc_frags(ip, 0, 2))
+    # Occupy the frag right after the run so in-place extension fails.
+    blocker = run(system, alloc.alloc_frags(ip, addr + 2, 1))
+    assert blocker == addr + 2
+    new = run(system, alloc.realloc_frags(ip, addr, 2, 4, 0))
+    assert new != addr
+    # The old run was returned.
+    cgx = sb.cg_of_frag(addr)
+    cg = mount.cgs[cgx]
+    rel = addr - sb.cgbase(cgx)
+    assert cg.frag_is_free(rel) and cg.frag_is_free(rel + 1)
+
+
+def test_frag_validation(system, mount, ip):
+    alloc = mount.allocator
+    with pytest.raises(ValueError):
+        run(system, alloc.alloc_frags(ip, 0, 0))
+    with pytest.raises(ValueError):
+        run(system, alloc.alloc_frags(ip, 0, 9))
+    with pytest.raises(ValueError):
+        alloc.free_frags(ip, 100, 0)
+
+
+def test_full_frag_request_becomes_block(system, mount, ip):
+    alloc = mount.allocator
+    addr = run(system, alloc.alloc_frags(ip, 0, mount.sb.frag))
+    assert addr % mount.sb.frag == 0
+
+
+def test_maxbpg_spills_to_next_group(system, mount, ip):
+    alloc = mount.allocator
+    sb = mount.sb
+    quota = alloc.maxbpg()
+    prev = 0
+    spilled = False
+    for lbn in range(quota + 2):
+        pref = alloc.blkpref(ip, lbn, prev)
+        addr = run(system, alloc.alloc_block(ip, pref))
+        if prev and sb.cg_of_frag(addr) != sb.cg_of_frag(prev):
+            spilled = True
+        prev = addr
+    assert spilled
+
+
+def test_inode_allocation_and_free(system, mount):
+    alloc = mount.allocator
+    before = mount.sb.cs_nifree
+    ino = run(system, alloc.alloc_inode(0, IFREG))
+    assert mount.sb.cs_nifree == before - 1
+    alloc.free_inode(ino, was_dir=False)
+    assert mount.sb.cs_nifree == before
+    with pytest.raises(RuntimeError, match="double free"):
+        alloc.free_inode(ino, was_dir=False)
+
+
+def test_directories_spread_files_cluster(system, mount):
+    alloc = mount.allocator
+    sb = mount.sb
+    dir_inos = [run(system, alloc.alloc_inode(0, IFDIR)) for _ in range(4)]
+    dir_groups = {sb.cg_of_inode(i) for i in dir_inos}
+    assert len(dir_groups) > 1  # directories spread across groups
+    file_inos = [run(system, alloc.alloc_inode(2, IFREG)) for _ in range(4)]
+    file_groups = {sb.cg_of_inode(i) for i in file_inos}
+    assert file_groups == {2}  # files stay near their directory
+
+
+def test_ndir_counters_updated(system, mount):
+    alloc = mount.allocator
+    before = mount.sb.cs_ndir
+    ino = run(system, alloc.alloc_inode(0, IFDIR))
+    assert mount.sb.cs_ndir == before + 1
+    alloc.free_inode(ino, was_dir=True)
+    assert mount.sb.cs_ndir == before

@@ -1,0 +1,111 @@
+"""Regression tests for fragment-tail expansion.
+
+Growing a file past a fragment-tail block must expand that block to a full
+block first (possibly moving it), preserving its contents — the bug class
+hypothesis found: stale 1-fragment tails overlapping later allocations.
+"""
+
+import pytest
+
+from repro.kernel import Proc
+from repro.ufs import fsck
+from repro.units import KB
+
+
+def test_grow_past_frag_tail_preserves_data(system, proc):
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"A" * 100)  # 1-fragment tail
+        yield from proc.pwrite(fd, b"B" * 100, 8192)  # extends past block 0
+        yield from proc.fsync(fd)
+        yield from proc.lseek(fd, 0)
+        return (yield from proc.read(fd, 9000))
+
+    data = system.run(work())
+    assert data[:100] == b"A" * 100
+    assert data[100:8192] == bytes(8092)
+    assert data[8192:8292] == b"B" * 100
+    # Block 0 is now a full block: 8 + 1 frags + no stale overlap.
+    vn = system.run(system.mount.namei("/f"))
+    assert vn.inode.blocks == 9
+    assert system.mount.stats["tail_expansions"] == 1
+    system.sync()
+    assert fsck(system.store).clean
+
+
+def test_grow_tail_that_must_move(system, proc):
+    """Force the in-place extension to fail so the run is relocated."""
+    from repro.ufs.inode import Inode
+    from repro.ufs.ondisk import Dinode, IFREG
+
+    mount = system.mount
+    decoy = Inode(mount, 99, Dinode(mode=IFREG, nlink=1))
+
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"A" * 1500)  # 2-fragment tail
+        # Occupy the fragments right after the tail run.
+        from repro.ufs import bmap
+
+        vn = yield from mount.namei("/f")
+        addr = yield from bmap.get_pointer(mount, vn.inode, 0)
+        yield from mount.allocator.alloc_frags(decoy, addr + 2, 2)
+        # Now grow past block 0: the tail must move to a new full block.
+        yield from proc.pwrite(fd, b"B" * 10, 20000)
+        yield from proc.fsync(fd)
+        yield from proc.lseek(fd, 0)
+        data = yield from proc.read(fd, 20010)
+        new_addr = yield from bmap.get_pointer(mount, vn.inode, 0)
+        return data, addr, new_addr
+
+    data, old_addr, new_addr = system.run(work())
+    assert new_addr != old_addr  # the run moved
+    assert data[:1500] == b"A" * 1500
+    assert data[20000:] == b"B" * 10
+
+
+def test_sparse_growth_leaves_holes_alone(system, proc):
+    """A hole at the old tail block must not be materialised by growth."""
+    def work():
+        fd = yield from proc.creat("/sparse")
+        yield from proc.pwrite(fd, b"x", 0)
+        yield from proc.pwrite(fd, b"y", 50 * KB)   # block 6, holes between
+        yield from proc.pwrite(fd, b"z", 100 * KB)  # grows past block 6
+        yield from proc.fsync(fd)
+        return fd
+
+    system.run(work())
+    vn = system.run(system.mount.namei("/sparse"))
+    # Blocks 1-5 and 7-11 are holes; only 0, 6, 12 are allocated.  Block 0
+    # and 6 were expanded to full blocks when the file grew past them.
+    from repro.ufs import bmap
+
+    def pointers():
+        out = []
+        for lbn in range(13):
+            out.append((yield from bmap.get_pointer(system.mount, vn.inode, lbn)))
+        return out
+
+    ptrs = system.run(pointers())
+    allocated = [lbn for lbn, p in enumerate(ptrs) if p != 0]
+    assert allocated == [0, 6, 12]
+    system.sync()
+    assert fsck(system.store).clean
+
+
+def test_many_small_appends_round_trip(system, proc):
+    """Append in odd sizes across several block boundaries."""
+    pieces = [b"%d-" % i * (i + 1) for i in range(40)]
+
+    def work():
+        fd = yield from proc.creat("/appends")
+        for piece in pieces:
+            yield from proc.write(fd, piece)
+        yield from proc.fsync(fd)
+        yield from proc.lseek(fd, 0)
+        return (yield from proc.read(fd, 1 << 20))
+
+    data = system.run(work())
+    assert data == b"".join(pieces)
+    system.sync()
+    assert fsck(system.store).clean, str(fsck(system.store))

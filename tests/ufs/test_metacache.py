@@ -1,0 +1,155 @@
+"""Tests for the metadata buffer cache."""
+
+import pytest
+
+from repro.cpu import CostTable, Cpu
+from repro.disk import DiskDriver, DiskGeometry, RotationalDisk
+from repro.sim import Engine
+from repro.ufs.metacache import MetaCache
+
+
+@pytest.fixture
+def stack():
+    engine = Engine()
+    geom = DiskGeometry.uniform(cylinders=50, heads=2, sectors_per_track=16)
+    disk = RotationalDisk(engine, geom)
+    cpu = Cpu(engine, CostTable.free())
+    driver = DiskDriver(engine, disk, cpu=cpu)
+    cache = MetaCache(engine, driver, cpu, bsize=8192, frag_sectors=2,
+                      capacity=4)
+    return engine, disk, cache
+
+
+def test_bread_miss_then_hit(stack):
+    engine, disk, cache = stack
+    disk.store.write(16, b"\xab" * 8192)  # frag addr 8 -> sector 16
+
+    def work():
+        meta = yield from cache.bread(8)
+        assert bytes(meta.data) == b"\xab" * 8192
+        again = yield from cache.bread(8)
+        return meta is again
+
+    assert engine.run_process(work())
+    assert cache.stats["misses"] == 1
+    assert cache.stats["hits"] == 1
+
+
+def test_delayed_write_flushes_on_flush(stack):
+    engine, disk, cache = stack
+
+    def work():
+        meta = yield from cache.bread(8)
+        meta.data[:3] = b"xyz"
+        cache.bdwrite(meta)
+        assert cache.dirty_count == 1
+        flushed = yield from cache.flush()
+        return flushed
+
+    assert engine.run_process(work()) == 1
+    assert disk.store.read(16, 1)[:3] == b"xyz"
+    assert cache.dirty_count == 0
+
+
+def test_sync_write_is_on_disk_immediately(stack):
+    engine, disk, cache = stack
+
+    def work():
+        meta = yield from cache.bread(8)
+        meta.data[:3] = b"abc"
+        yield from cache.bwrite(meta)
+
+    engine.run_process(work())
+    assert disk.store.read(16, 1)[:3] == b"abc"
+
+
+def test_eviction_writes_back_dirty_victim(stack):
+    engine, disk, cache = stack
+
+    def work():
+        meta = yield from cache.bread(8)
+        meta.data[:3] = b"old"
+        cache.bdwrite(meta)
+        # Capacity 4: read four more blocks to evict frag 8.
+        for addr in (16, 24, 32, 40):
+            yield from cache.bread(addr)
+
+    engine.run_process(work())
+    assert cache.stats["eviction_writebacks"] == 1
+    assert disk.store.read(16, 1)[:3] == b"old"
+
+
+def test_install_new_skips_read(stack):
+    engine, disk, cache = stack
+
+    def work():
+        meta = yield from cache.install_new(8, b"\x01" * 8192)
+        cache.bdwrite(meta)
+        yield from cache.flush()
+
+    engine.run_process(work())
+    assert disk.stats["reads"] == 0
+    assert disk.store.read(16, 1) == b"\x01" * 512
+
+
+def test_install_new_validation(stack):
+    engine, _, cache = stack
+
+    def work():
+        yield from cache.install_new(8, b"short")
+
+    with pytest.raises(ValueError):
+        engine.run_process(work())
+
+    def work2():
+        yield from cache.bread(8)
+        yield from cache.install_new(8)
+
+    with pytest.raises(ValueError):
+        engine.run_process(work2())
+
+
+def test_drop_discards_dirty_data(stack):
+    engine, disk, cache = stack
+
+    def work():
+        meta = yield from cache.bread(8)
+        meta.data[:3] = b"bad"
+        cache.bdwrite(meta)
+        cache.drop(8)
+        yield from cache.flush()
+
+    engine.run_process(work())
+    assert disk.store.read(16, 1)[:3] == b"\x00\x00\x00"
+
+
+def test_concurrent_bread_single_io(stack):
+    engine, disk, cache = stack
+    results = []
+
+    def reader(tag):
+        meta = yield from cache.bread(8)
+        results.append((tag, meta))
+
+    engine.process(reader("a"))
+    engine.process(reader("b"))
+    engine.run()
+    assert len(results) == 2
+    assert results[0][1] is results[1][1]
+    assert disk.stats["reads"] == 1
+    assert cache.stats["inflight_waits"] >= 1
+
+
+def test_bdwrite_requires_cached_buffer(stack):
+    engine, _, cache = stack
+    from repro.ufs.metacache import MetaBuf
+
+    stray = MetaBuf(99, bytearray(8192))
+    with pytest.raises(ValueError):
+        cache.bdwrite(stray)
+
+
+def test_capacity_validation(stack):
+    engine, disk, cache = stack
+    with pytest.raises(ValueError):
+        MetaCache(engine, None, None, 8192, 2, capacity=0)

@@ -1,0 +1,188 @@
+"""Tests for address spaces, segments, and the mmap fault path."""
+
+import pytest
+
+from repro.disk import DiskGeometry
+from repro.errors import InvalidArgumentError
+from repro.kernel import Proc, System, SystemConfig
+from repro.ufs import fsck
+from repro.units import KB
+from repro.vm import SegmentationFault
+
+
+@pytest.fixture
+def booted():
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=200, heads=4,
+                                      sectors_per_track=32))
+    system = System.booted(cfg)
+    return system, Proc(system)
+
+
+def make_file(system, proc, path, data):
+    def work():
+        fd = yield from proc.creat(path)
+        yield from proc.write(fd, data)
+        yield from proc.fsync(fd)
+        return fd
+
+    return system.run(work())
+
+
+def test_mapped_read_matches_file(booted):
+    system, proc = booted
+    data = bytes(range(251)) * 100  # ~25 KB
+    fd = make_file(system, proc, "/f", data)
+
+    def work():
+        seg = proc.mmap(fd, len(data))
+        got = yield from proc.mem_read(seg.base, len(data))
+        return got
+
+    assert system.run(work()) == data
+
+
+def test_mapped_read_unaligned_window(booted):
+    system, proc = booted
+    data = bytes(range(251)) * 100
+    fd = make_file(system, proc, "/f", data)
+
+    def work():
+        seg = proc.mmap(fd, len(data))
+        return (yield from proc.mem_read(seg.base + 10_000, 500))
+
+    assert system.run(work()) == data[10_000:10_500]
+
+
+def test_mapping_validation(booted):
+    system, proc = booted
+    fd = make_file(system, proc, "/f", bytes(10 * KB))
+    with pytest.raises(InvalidArgumentError):
+        proc.mmap(fd, 20 * KB)  # past EOF
+    with pytest.raises(InvalidArgumentError):
+        proc.mmap(fd, 1 * KB, offset=100)  # unaligned
+    with pytest.raises(InvalidArgumentError):
+        proc.mmap(fd, 0)
+
+
+def test_unmapped_access_faults(booted):
+    system, proc = booted
+    with pytest.raises(SegmentationFault):
+        system.run(proc.mem_read(0xDEAD0000, 1))
+
+
+def test_store_to_readonly_mapping_faults(booted):
+    system, proc = booted
+    fd = make_file(system, proc, "/f", bytes(8 * KB))
+
+    def work():
+        seg = proc.mmap(fd, 8 * KB, writable=False)
+        yield from proc.mem_write(seg.base, b"boom")
+
+    with pytest.raises(SegmentationFault):
+        system.run(work())
+
+
+def test_mapped_write_visible_through_read_syscall(booted):
+    system, proc = booted
+    fd = make_file(system, proc, "/f", bytes(16 * KB))
+
+    def work():
+        seg = proc.mmap(fd, 16 * KB, writable=True)
+        yield from proc.mem_write(seg.base + 100, b"MAPPED WRITE")
+        yield from proc.msync(seg)
+        return (yield from proc.pread(fd, 20, 95))
+
+    got = system.run(work())
+    assert got == bytes(5) + b"MAPPED WRITE" + bytes(3)
+    system.sync()
+    assert fsck(system.store).clean
+
+
+def test_mapped_write_into_hole_allocates_backing(booted):
+    """The UFS_HOLE discipline: the write fault allocates the block."""
+    system, proc = booted
+
+    def make_sparse():
+        fd = yield from proc.creat("/sparse")
+        yield from proc.pwrite(fd, b"end", 40 * KB)
+        yield from proc.fsync(fd)
+        return fd
+
+    fd = system.run(make_sparse())
+    vn = system.run(system.mount.namei("/sparse"))
+    from repro.ufs import bmap
+
+    assert system.run(bmap.get_pointer(system.mount, vn.inode, 0)) == 0
+
+    def work():
+        seg = proc.mmap(fd, 40 * KB + 3, writable=True)
+        yield from proc.mem_write(seg.base, b"no longer a hole")
+        yield from proc.munmap(seg)
+
+    system.run(work())
+    # The hole block now has backing store, and the data is durable.
+    assert system.run(bmap.get_pointer(system.mount, vn.inode, 0)) != 0
+
+    def read_back():
+        return (yield from proc.pread(fd, 16, 0))
+
+    assert system.run(read_back()) == b"no longer a hole"
+    system.sync()
+    assert fsck(system.store).clean
+
+
+def test_munmap_flushes_and_removes(booted):
+    system, proc = booted
+    fd = make_file(system, proc, "/f", bytes(8 * KB))
+
+    def work():
+        seg = proc.mmap(fd, 8 * KB, writable=True)
+        yield from proc.mem_write(seg.base, b"durable?")
+        yield from proc.munmap(seg)
+        return seg
+
+    seg = system.run(work())
+    assert seg not in proc.addrspace.segments
+    vn = system.run(system.mount.namei("/f"))
+    assert system.pagecache.dirty_pages(vn) == []
+    with pytest.raises(SegmentationFault):
+        system.run(proc.mem_read(seg.base, 1))
+
+
+def test_two_mappings_do_not_overlap(booted):
+    system, proc = booted
+    fd1 = make_file(system, proc, "/a", bytes(16 * KB))
+    fd2 = make_file(system, proc, "/b", bytes(16 * KB))
+    seg1 = proc.mmap(fd1, 16 * KB)
+    seg2 = proc.mmap(fd2, 16 * KB)
+    assert seg1.end <= seg2.base or seg2.end <= seg1.base
+
+
+def test_mapped_pages_are_shared_with_page_cache(booted):
+    """The unified model: a mapped page IS the cached page."""
+    system, proc = booted
+    data = b"shared page content" + bytes(8 * KB - 19)
+    fd = make_file(system, proc, "/f", data)
+
+    def work():
+        seg = proc.mmap(fd, 8 * KB)
+        yield from proc.mem_read(seg.base, 10)
+        return seg
+
+    seg = system.run(work())
+    vn = system.run(system.mount.namei("/f"))
+    pages = system.pagecache.vnode_pages(vn)
+    assert any(bytes(p.data[:19]) == b"shared page content" for p in pages)
+
+
+def test_fault_counting(booted):
+    system, proc = booted
+    fd = make_file(system, proc, "/f", bytes(32 * KB))
+
+    def work():
+        seg = proc.mmap(fd, 32 * KB)
+        yield from proc.mem_read(seg.base, 32 * KB)
+        return seg.faults
+
+    assert system.run(work()) == 4  # one fault per 8 KB page
