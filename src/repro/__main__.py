@@ -7,6 +7,8 @@ Commands:
 * ``cpubench`` — the figure 12 CPU comparison;
 * ``musbus [--users 4]`` — the timesharing mix;
 * ``traces`` — print the figure 3/6/7 event-trace diagrams;
+* ``faultcampaign [--cuts 50] [--seed 0]`` — seeded power-cut
+  crash-consistency sweep (fault injection + fsck repair);
 * ``demo`` — a short guided tour (quickstart + fsck).
 """
 
@@ -84,6 +86,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultcampaign(args: argparse.Namespace) -> int:
+    from repro.faults import CrashCampaign
+
+    if args.cuts < 1:
+        print("faultcampaign: --cuts must be >= 1", file=sys.stderr)
+        return 2
+    campaign = CrashCampaign(cuts=args.cuts, seed=args.seed,
+                             trace=args.trace)
+    print(f"running {args.cuts} seeded power cuts (seed={args.seed})...")
+    stats = campaign.run()
+    print(stats)
+    if args.trace:
+        for record in campaign.trace_records:
+            if record.tag == "power_cut":
+                print(record.describe())
+    failed = (stats.silent_corruptions > 0
+              or stats.clean_after_repair < stats.cuts)
+    if failed:
+        print("FAILED: corruption or unrepaired damage detected")
+    return 1 if failed else 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from examples.quickstart import main as quickstart_main  # type: ignore
 
@@ -119,6 +143,15 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--file-mb", type=int, default=16)
     p.add_argument("--output", default="")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("faultcampaign",
+                       help="seeded power-cut crash-consistency sweep")
+    p.add_argument("--cuts", type=int, default=50,
+                   help="number of seeded power-cut points (default 50)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true",
+                   help="print a per-cut trace summary")
+    p.set_defaults(fn=_cmd_faultcampaign)
 
     p = sub.add_parser("demo", help="guided quickstart")
     p.set_defaults(fn=_cmd_demo)

@@ -1,0 +1,58 @@
+"""Per-file cluster health: graceful degradation under I/O errors.
+
+Clustering turns one bad sector into a failed 56 KB transfer.  The driver
+already splits and retries coalesced requests, but when a file keeps
+hitting errors the kernel should stop amplifying them: after ``threshold``
+consecutive failed cluster-sized I/Os on a file we fall back to
+single-block (8 KB) transfers — preserving forward progress at reduced
+throughput — and re-grow to full clustering as successes accumulate.
+
+Both :class:`repro.core.readahead.ReadAheadState` and
+:class:`repro.core.writecluster.WriteClusterState` carry one of these.
+"""
+
+from __future__ import annotations
+
+
+class ClusterHealth:
+    """Failure-counting state machine gating a file's cluster size.
+
+    ``record_failure``/``record_success`` are called by the I/O layer after
+    each cluster-sized transfer; ``clamp`` is consulted when sizing the
+    next one.  A success pays off one failure, so a file that degraded
+    after ``threshold`` consecutive errors needs the same number of clean
+    single-block transfers before clusters grow back — a linear
+    increase/decrease that cannot oscillate on a marginal disk.
+    """
+
+    def __init__(self, threshold: int = 2):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.failures = 0
+        #: Times this file entered degraded mode (for stats/tests).
+        self.degradations = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True while the file is restricted to single-block I/O."""
+        return self.failures >= self.threshold
+
+    def clamp(self, nbytes: int, block_size: int) -> int:
+        """Limit a proposed transfer size to one block while degraded."""
+        if self.degraded:
+            return min(nbytes, block_size)
+        return nbytes
+
+    def record_failure(self) -> None:
+        was_degraded = self.degraded
+        self.failures += 1
+        if self.degraded and not was_degraded:
+            self.degradations += 1
+
+    def record_success(self) -> None:
+        if self.failures > 0:
+            self.failures -= 1
+
+    def reset(self) -> None:
+        self.failures = 0

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.health import ClusterHealth
+
 
 @dataclass(frozen=True)
 class ReadAheadAction:
@@ -51,6 +53,9 @@ class ReadAheadState:
         #: free-behind policy reads this ("the file is in sequential read
         #: mode").
         self.last_was_sequential = False
+        #: Degraded-mode tracker: repeated cluster failures on this file
+        #: clamp reads to single blocks until successes re-grow them.
+        self.health = ClusterHealth()
 
     def observe(self, offset: int, page_size: int, cached: bool,
                 readahead_enabled: bool = True) -> ReadAheadAction:
@@ -93,3 +98,4 @@ class ReadAheadState:
         self.trigger = None
         self.nextrio = 0
         self.last_was_sequential = False
+        self.health.reset()

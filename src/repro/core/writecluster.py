@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.health import ClusterHealth
+
 
 @dataclass(frozen=True)
 class WriteClusterAction:
@@ -43,6 +45,9 @@ class WriteClusterState:
     def __init__(self) -> None:
         self.delayoff = 0
         self.delaylen = 0
+        #: Degraded-mode tracker: repeated cluster failures on this file
+        #: clamp the delayed range to single blocks until successes re-grow.
+        self.health = ClusterHealth()
 
     @property
     def pending(self) -> int:
@@ -56,6 +61,9 @@ class WriteClusterState:
         """
         if offset < 0 or page_size <= 0 or max_bytes < page_size:
             raise ValueError("bad offer arguments")
+        # While the file is degraded by I/O errors, behave as if maxcontig
+        # were one block: every page pushes immediately, nothing amplifies.
+        max_bytes = self.health.clamp(max_bytes, page_size)
         extended = False
         if self.delaylen == 0:
             # Nothing delayed: start a new range at this page.

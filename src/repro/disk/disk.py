@@ -29,11 +29,13 @@ from typing import TYPE_CHECKING, Any, Generator
 from repro.disk.buf import Buf, BufOp
 from repro.disk.geometry import DiskGeometry
 from repro.disk.store import DiskStore
+from repro.errors import PowerLossError
 from repro.sim.events import Event
 from repro.sim.stats import StatSet
 from repro.units import MB, MS
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
     from repro.sim.engine import Engine
 
 
@@ -122,7 +124,8 @@ class RotationalDisk:
                  track_buffer: bool = True,
                  bus_rate: float = 2.5 * MB,
                  controller_overhead: float = 0.7 * MS,
-                 buffer_hit_overhead: float = 0.3 * MS):
+                 buffer_hit_overhead: float = 0.3 * MS,
+                 fault_plan: "FaultPlan | None" = None):
         self.engine = engine
         self.geometry = geometry if geometry is not None else DiskGeometry.ibm_400mb()
         self.store = store if store is not None else DiskStore(
@@ -135,6 +138,8 @@ class RotationalDisk:
         self.controller_overhead = controller_overhead
         self.buffer_hit_overhead = buffer_hit_overhead
         self.track_buffer = TrackBuffer(self.geometry)
+        #: Optional injected fault schedule (see repro.faults.FaultPlan).
+        self.fault_plan = fault_plan
         self.stats = StatSet("disk")
         self._cyl = 0
         self._head = 0
@@ -152,6 +157,11 @@ class RotationalDisk:
         self.stats.incr("requests")
         self.stats.incr("reads" if buf.is_read else "writes")
         self.stats.incr("sectors", buf.nsectors)
+
+        if self.fault_plan is not None:
+            decision = self.fault_plan.decide(buf, engine.now)
+            if decision is not None:
+                yield from self._fail(buf, decision)
 
         if buf.is_write:
             # The head moves and look-ahead stops; be conservative.
@@ -192,6 +202,24 @@ class RotationalDisk:
             remaining -= run
             first_segment = False
 
+        # Power cut mid-request: tear an in-flight write at a sector
+        # boundary and freeze the durable state forever after.
+        plan = self.fault_plan
+        if plan is not None and plan.cuts_power_during(buf.started_at, engine.now):
+            if buf.is_write:
+                assert buf.data is not None
+                durable = plan.torn_prefix_sectors(buf, buf.started_at, engine.now)
+                if durable > 0:
+                    self.store.write(buf.sector,
+                                     buf.data[:durable * geom.sector_size])
+                self.stats.incr("torn_writes")
+                plan.stats.incr("torn_writes")
+                plan.stats.incr("torn_sectors_lost", buf.nsectors - durable)
+            plan.powered_off = True
+            plan.stats.incr("power_faults")
+            raise PowerLossError(
+                f"power lost at t={plan.power_cut_time:.6f} mid-request")
+
         # Data plane: move the real bytes.
         if buf.is_read:
             buf.data = self.store.read(buf.sector, buf.nsectors)
@@ -204,6 +232,29 @@ class RotationalDisk:
             self.store.write(buf.sector, buf.data)
 
     # -- internals ------------------------------------------------------------
+    def _fail(self, buf: Buf, decision: Any) -> Generator[Event, Any, None]:
+        """Charge the time an injected failure costs, then raise its error."""
+        from repro.faults.plan import FaultKind
+
+        engine = self.engine
+        self.stats.incr("faulted_requests")
+        if decision.kind is FaultKind.POWER:
+            raise decision.error  # the electronics are dead: instant failure
+        if decision.kind is FaultKind.TIMEOUT:
+            # The controller goes silent; the request hangs before the
+            # driver sees the failure.
+            if decision.hang > 0:
+                yield engine.timeout(decision.hang)
+            raise decision.error
+        if decision.kind is FaultKind.MEDIA:
+            # The drive retried internally (a rotation's worth) and gave up.
+            yield engine.timeout(self.controller_overhead
+                                 + self.geometry.rotation_time)
+            raise decision.error
+        # Transient: the command was issued and failed quickly.
+        yield engine.timeout(self.controller_overhead)
+        raise decision.error
+
     def _buffer_read(self, sector: int, run: int,
                      first_segment: bool) -> Generator[Event, Any, None]:
         """Serve ``run`` sectors from the (possibly still filling) buffer."""

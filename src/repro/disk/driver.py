@@ -23,10 +23,13 @@ from typing import TYPE_CHECKING
 
 from repro.disk.buf import Buf, BufOp
 from repro.disk.disk import RotationalDisk
+from repro.errors import (
+    DiskError, DiskTimeoutError, MediaError, TransientDiskError,
+)
 from repro.sim.events import Event
 from repro.sim.resources import Signal
 from repro.sim.stats import StatSet, TimeWeighted
-from repro.units import KB
+from repro.units import KB, MS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cpu import Cpu
@@ -147,6 +150,9 @@ class DiskQueue:
             if buf in seg:
                 seg.remove(buf)
                 self._length -= 1
+                # The buf leaves the queue without going through pop():
+                # drop its starvation counter or the entry leaks forever.
+                self._passes.pop(buf.id, None)
                 return
         raise ValueError("buf not in queue")
 
@@ -159,6 +165,9 @@ class DiskDriver:
                  use_disksort: bool = True,
                  coalesce: bool = False,
                  coalesce_limit: int = 56 * KB,
+                 max_retries: int = 4,
+                 retry_backoff: float = 2 * MS,
+                 remap_penalty: float = 5 * MS,
                  name: str = "sd0"):
         self.engine = engine
         self.disk = disk
@@ -166,6 +175,17 @@ class DiskDriver:
         self.name = name
         self.coalesce = coalesce
         self.coalesce_limit_sectors = coalesce_limit // disk.geometry.sector_size
+        #: Bounded retries for transient errors and detected timeouts;
+        #: attempt n backs off for retry_backoff * 2**(n-1).
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Settle time charged when a bad sector is revectored to a spare.
+        self.remap_penalty = remap_penalty
+        #: Bad sectors this driver has revectored: sector -> spare slot.
+        #: The drive substitutes the spare transparently, so the sector
+        #: keeps its logical address; the table exists for introspection
+        #: and mirrors a real drive's grown-defect list.
+        self.remap_table: dict[int, int] = {}
         self.queue = DiskQueue(use_disksort=use_disksort)
         self.stats = StatSet(f"{name}.driver")
         self.queue_depth = TimeWeighted(engine, 0)
@@ -246,28 +266,87 @@ class DiskDriver:
                 continue
             self._busy = True
             self.queue_depth.set(len(self.queue) + 1)
-            yield from self.disk.service(buf)
+            error = yield from self._service_with_recovery(buf)
             self._last_sector = buf.end_sector
             if self.cpu is not None:
                 intr = self.cpu.interrupt_charge("interrupt", self.cpu.costs.interrupt)
                 if intr > 0:
                     yield self.engine.timeout(intr)
-            self._complete(buf)
+            if error is not None and len(buf.children) > 1:
+                # A coalesced cluster failed as a whole: dissolve it and
+                # retry the original requests individually, so one bad
+                # sector cannot fail a whole 56 KB cluster.  The children's
+                # queued bytes stay accounted until they complete.
+                self._split_retry(buf)
+            else:
+                self._complete(buf, error)
+                self.queue_bytes.add(-buf.nbytes)
             self._busy = False
             self.queue_depth.set(len(self.queue))
-            self.queue_bytes.add(-buf.nbytes)
 
-    def _complete(self, buf: Buf) -> None:
+    def _service_with_recovery(self, buf: Buf):
+        """Service ``buf``, absorbing recoverable faults.
+
+        Transient errors and detected controller timeouts are retried up to
+        ``max_retries`` times with exponential backoff; hard media errors
+        are revectored to a spare (the bad-block remap table) and retried.
+        Returns None on success or the unrecoverable error.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self.disk.service(buf)
+                return None
+            except MediaError as exc:
+                self.stats.incr("media_errors")
+                spare = None
+                plan = self.disk.fault_plan
+                if exc.sector is not None and plan is not None:
+                    spare = plan.remap(exc.sector)
+                if spare is None:
+                    return exc  # unremappable: hard failure
+                self.remap_table[exc.sector] = spare
+                self.stats.incr("remaps")
+                yield self.engine.timeout(self.remap_penalty)
+            except (TransientDiskError, DiskTimeoutError) as exc:
+                if isinstance(exc, DiskTimeoutError):
+                    self.stats.incr("timeouts_detected")
+                else:
+                    self.stats.incr("transient_errors")
+                attempt += 1
+                if attempt > self.max_retries:
+                    self.stats.incr("retries_exhausted")
+                    return exc
+                self.stats.incr("retries")
+                yield self.engine.timeout(self.retry_backoff * (2 ** (attempt - 1)))
+            except DiskError as exc:
+                return exc  # power loss and anything else unrecoverable
+
+    def _split_retry(self, parent: Buf) -> None:
+        """Re-queue a failed coalesced parent's children individually.
+
+        The parent buf dissolves (nothing waits on it — strategy callers
+        wait on their own request); each child is serviced and recovered on
+        its own, so the failure is isolated to the sectors that caused it.
+        """
+        self.stats.incr("split_retries")
+        for child in sorted(parent.children, key=lambda b: b.sector):
+            self.queue.insert(child)
+
+    def _complete(self, buf: Buf, error: "BaseException | None" = None) -> None:
         self.stats.incr("completions")
+        if error is not None:
+            self.stats.incr("errors")
         if buf.children:
-            self._complete_children(buf)
-        buf.complete()
+            self._complete_children(buf, error)
+        buf.complete(error)
 
-    def _complete_children(self, parent: Buf) -> None:
+    def _complete_children(self, parent: Buf,
+                           error: "BaseException | None" = None) -> None:
         offset = 0
         for child in sorted(parent.children, key=lambda b: b.sector):
-            if parent.is_read:
+            if error is None and parent.is_read:
                 assert parent.data is not None
                 child.data = parent.data[offset:offset + child.nbytes]
                 offset += child.nbytes
-            child.complete()
+            child.complete(error)

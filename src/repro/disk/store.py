@@ -55,6 +55,12 @@ class DiskStore:
             else:
                 self._sectors[sector + i] = chunk
 
+    def clone(self) -> "DiskStore":
+        """An independent copy of the current bytes (a crash snapshot)."""
+        dup = DiskStore(self.total_sectors, self.sector_size)
+        dup._sectors = dict(self._sectors)
+        return dup
+
     @property
     def written_sectors(self) -> int:
         """Number of sectors holding non-zero data (sparse population)."""

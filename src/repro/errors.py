@@ -3,6 +3,11 @@
 Modelled failures (ENOSPC, EIO, ...) are ordinary exceptions raised *inside*
 the simulation; they are distinct from :class:`repro.sim.SimulationError`,
 which indicates misuse of the simulator itself.
+
+Every modelled error carries an errno-style ``code`` string (``"EIO"``,
+``"ENOSPC"``, ...) so tests and the CLI can assert on codes instead of
+class names; :class:`repro.kernel.syscalls.Proc` mirrors the code of the
+last failed syscall in its ``errno`` attribute, like the C library does.
 """
 
 from __future__ import annotations
@@ -11,9 +16,48 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all modelled errors."""
 
+    #: errno-style code; subclasses override.
+    code = "EUNKNOWN"
+
 
 class DiskError(ReproError):
     """I/O error from the disk model (EIO)."""
+
+    code = "EIO"
+
+
+class TransientDiskError(DiskError):
+    """A request failed for a recoverable reason (vibration, a soft ECC
+    miss, a bus glitch); an identical retry is expected to succeed."""
+
+    code = "EIO"
+
+
+class MediaError(DiskError):
+    """A hard media error: a latent bad sector that fails every access
+    until the drive revectors it to a spare.  ``sector`` identifies the
+    first bad sector in the failed request's range."""
+
+    code = "EIO"
+
+    def __init__(self, message: str = "media error", sector: "int | None" = None):
+        super().__init__(message)
+        self.sector = sector
+
+
+class DiskTimeoutError(DiskError):
+    """The controller stopped responding; the request hung and was failed
+    by the driver's timeout handling (ETIMEDOUT)."""
+
+    code = "ETIMEDOUT"
+
+
+class PowerLossError(DiskError):
+    """Power was cut while the request was queued or in flight.  An
+    in-flight multi-sector write may have been torn at a sector boundary;
+    the durable state is frozen from this instant on."""
+
+    code = "EIO"
 
 
 class FilesystemError(ReproError):
@@ -23,34 +67,52 @@ class FilesystemError(ReproError):
 class NoSpaceError(FilesystemError):
     """File system out of blocks/fragments/inodes (ENOSPC)."""
 
+    code = "ENOSPC"
+
 
 class FileNotFoundError_(FilesystemError):
     """Path component does not exist (ENOENT)."""
+
+    code = "ENOENT"
 
 
 class FileExistsError_(FilesystemError):
     """Path already exists (EEXIST)."""
 
+    code = "EEXIST"
+
 
 class NotADirectoryError_(FilesystemError):
     """Path component is not a directory (ENOTDIR)."""
+
+    code = "ENOTDIR"
 
 
 class IsADirectoryError_(FilesystemError):
     """Operation not valid on a directory (EISDIR)."""
 
+    code = "EISDIR"
+
 
 class DirectoryNotEmptyError(FilesystemError):
     """rmdir on a non-empty directory (ENOTEMPTY)."""
+
+    code = "ENOTEMPTY"
 
 
 class InvalidArgumentError(ReproError):
     """Bad argument to a syscall-level API (EINVAL)."""
 
+    code = "EINVAL"
+
 
 class BadFileError(ReproError):
     """Operation on a closed or invalid file descriptor (EBADF)."""
 
+    code = "EBADF"
+
 
 class CorruptionError(FilesystemError):
     """On-disk metadata failed validation (what fsck exists to find)."""
+
+    code = "EUCLEAN"

@@ -1,0 +1,27 @@
+"""Fault injection: deterministic disk-fault plans and crash campaigns.
+
+The fault model lives in two layers:
+
+* :class:`FaultPlan` — a seeded schedule of disk faults (latent bad
+  sectors, transient failures, controller timeouts, power cuts) injected
+  into :class:`repro.disk.disk.RotationalDisk`; the driver's recovery
+  machinery (retries, backoff, bad-block remapping, split-retry of
+  coalesced clusters) is exercised against it.
+* :class:`CrashCampaign` — a seeded sweep of power-cut points over a write
+  workload, asserting that fsck detects and repairs every torn-write
+  inconsistency and that fsync's durability promise is never broken.
+"""
+
+from repro.faults.campaign import (
+    CampaignStats, CrashCampaign, default_campaign_config,
+)
+from repro.faults.plan import FaultDecision, FaultKind, FaultPlan
+
+__all__ = [
+    "CampaignStats",
+    "CrashCampaign",
+    "FaultDecision",
+    "FaultKind",
+    "FaultPlan",
+    "default_campaign_config",
+]

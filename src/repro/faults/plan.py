@@ -1,0 +1,175 @@
+"""The fault plan: a deterministic, seeded description of what goes wrong.
+
+A :class:`FaultPlan` is injected into :meth:`repro.disk.disk.RotationalDisk.
+service` and consulted once per service attempt, in service order.  Because
+the simulation engine is deterministic, the plan's random draws happen in a
+reproducible sequence: the same seed and workload produce byte-identical
+fault histories, which is what makes crash campaigns replayable.
+
+The fault taxonomy:
+
+* **latent bad sectors** — a fixed set of sectors that fail every media
+  access with :class:`~repro.errors.MediaError` until the driver revectors
+  them (``remap``), exactly like grown defects on a real drive;
+* **transient failures** — each read/write independently fails with a
+  configurable probability (or at scheduled trigger times) with
+  :class:`~repro.errors.TransientDiskError`; an identical retry succeeds
+  (unless the dice fail it again);
+* **controller timeouts** — a request hangs for ``timeout_hang`` seconds
+  and then fails with :class:`~repro.errors.DiskTimeoutError`;
+* **power cuts** — at ``power_cut_time`` the machine loses power: a write
+  in flight is torn at a sector boundary (the durable prefix is kept, the
+  rest is lost), and from that instant the durable state is frozen — every
+  later request fails with :class:`~repro.errors.PowerLossError` and
+  nothing further reaches the backing store.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import (
+    DiskTimeoutError, MediaError, PowerLossError, TransientDiskError,
+)
+from repro.sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.disk.buf import Buf
+
+
+class FaultKind(enum.Enum):
+    """What kind of failure the plan decided to inject."""
+
+    TRANSIENT = "transient"
+    MEDIA = "media"
+    TIMEOUT = "timeout"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One injected fault: its kind, the exception to raise, and — for
+    timeouts — how long the request hangs before the error is reported."""
+
+    kind: FaultKind
+    error: Exception
+    hang: float = 0.0
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of disk faults.
+
+    All probabilities are per *service attempt* (a retried request rolls the
+    dice again, as a real marginal drive would).  ``decide`` must be called
+    exactly once per attempt, in service order, for determinism to hold.
+    """
+
+    def __init__(self, seed: int = 0,
+                 read_transient_p: float = 0.0,
+                 write_transient_p: float = 0.0,
+                 bad_sectors: Iterable[int] = (),
+                 transient_at: Iterable[float] = (),
+                 timeout_at: Iterable[float] = (),
+                 timeout_hang: float = 0.25,
+                 power_cut_time: "float | None" = None):
+        if not 0.0 <= read_transient_p <= 1.0:
+            raise ValueError("read_transient_p must be a probability")
+        if not 0.0 <= write_transient_p <= 1.0:
+            raise ValueError("write_transient_p must be a probability")
+        if timeout_hang < 0:
+            raise ValueError("timeout_hang must be >= 0")
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.read_transient_p = read_transient_p
+        self.write_transient_p = write_transient_p
+        self.bad_sectors: set[int] = set(bad_sectors)
+        self.remapped: dict[int, int] = {}  # bad sector -> spare slot
+        self._transient_at = sorted(transient_at)
+        self._timeout_at = sorted(timeout_at)
+        self.timeout_hang = timeout_hang
+        self.power_cut_time = power_cut_time
+        self.powered_off = False
+        self.stats = StatSet("faults")
+        self._next_spare = 0
+
+    # -- the injection decision (RotationalDisk.service calls this) ----------
+    def decide(self, buf: "Buf", now: float) -> "FaultDecision | None":
+        """What, if anything, goes wrong with this service attempt."""
+        if self.powered_off or (
+            self.power_cut_time is not None and now >= self.power_cut_time
+        ):
+            if not self.powered_off:
+                self.powered_off = True
+                self.stats.incr("power_faults")
+            return FaultDecision(
+                FaultKind.POWER, PowerLossError("power lost; disk is dead"))
+        # Scheduled one-shot faults fire on the first attempt at/after their
+        # trigger time.
+        if self._timeout_at and now >= self._timeout_at[0]:
+            self._timeout_at.pop(0)
+            self.stats.incr("timeouts")
+            return FaultDecision(
+                FaultKind.TIMEOUT,
+                DiskTimeoutError(f"controller hung on {buf!r}"),
+                hang=self.timeout_hang,
+            )
+        if self._transient_at and now >= self._transient_at[0]:
+            self._transient_at.pop(0)
+            self.stats.incr("transient_faults")
+            return FaultDecision(
+                FaultKind.TRANSIENT,
+                TransientDiskError(f"scheduled transient fault on {buf!r}"))
+        bad = self._first_bad(buf.sector, buf.nsectors)
+        if bad is not None:
+            self.stats.incr("media_faults")
+            return FaultDecision(
+                FaultKind.MEDIA,
+                MediaError(f"hard error at sector {bad}", sector=bad))
+        p = self.read_transient_p if buf.is_read else self.write_transient_p
+        if p > 0.0 and self._rng.random() < p:
+            self.stats.incr("transient_faults")
+            return FaultDecision(
+                FaultKind.TRANSIENT,
+                TransientDiskError(f"transient {buf.op.value} failure"))
+        return None
+
+    def _first_bad(self, sector: int, nsectors: int) -> "int | None":
+        """The lowest still-bad sector in [sector, sector+nsectors)."""
+        hits = self.bad_sectors.intersection(range(sector, sector + nsectors))
+        return min(hits) if hits else None
+
+    # -- driver-side recovery hooks ------------------------------------------
+    def remap(self, sector: int) -> "int | None":
+        """Revector ``sector`` to a spare; returns the spare slot number or
+        None if the sector is not in the (still-)bad set."""
+        if sector not in self.bad_sectors:
+            return None
+        self.bad_sectors.discard(sector)
+        spare = self._next_spare
+        self._next_spare += 1
+        self.remapped[sector] = spare
+        self.stats.incr("remaps")
+        return spare
+
+    # -- power-cut tearing ----------------------------------------------------
+    def torn_prefix_sectors(self, buf: "Buf", started: float, now: float) -> int:
+        """Sectors of an in-flight write durable when the power died.
+
+        The transfer is modelled as linear between its start and its would-be
+        completion; the cut tears it at the sector boundary reached by then.
+        """
+        cut = self.power_cut_time
+        assert cut is not None
+        if now <= started:
+            return 0
+        frac = (cut - started) / (now - started)
+        return max(0, min(buf.nsectors, int(buf.nsectors * frac)))
+
+    def cuts_power_during(self, started: float, now: float) -> bool:
+        """True if the power cut falls inside [started, now)."""
+        cut = self.power_cut_time
+        return (cut is not None and not self.powered_off
+                and started <= cut < now)

@@ -8,9 +8,13 @@ path without copyout (the paper's figure 12 benchmark interface).
 
 from __future__ import annotations
 
+import functools
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.errors import BadFileError, FileNotFoundError_, InvalidArgumentError
+from repro.errors import (
+    BadFileError, FileNotFoundError_, InvalidArgumentError, ReproError,
+)
+from repro.sim.events import EventFailed
 from repro.vfs.vnode import RW
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -20,6 +24,32 @@ if TYPE_CHECKING:  # pragma: no cover
 SEEK_SET = 0
 SEEK_CUR = 1
 SEEK_END = 2
+
+
+def _syscall(method):
+    """Mirror the errno-style ``code`` of a failed syscall in ``proc.errno``.
+
+    Like the C library, ``errno`` is only written when a call fails; it
+    keeps the last failure's code otherwise.  Failed simulation events that
+    escape the I/O stack are unwrapped so callers always see the modelled
+    :class:`ReproError`, never the engine's ``EventFailed`` envelope.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return (yield from method(self, *args, **kwargs))
+        except ReproError as exc:
+            self.errno = exc.code
+            raise
+        except EventFailed as failure:
+            cause = failure.args[0] if failure.args else failure
+            if isinstance(cause, ReproError):
+                self.errno = cause.code
+                raise cause from None
+            raise
+
+    return wrapper
 
 
 class _OpenFile:
@@ -40,6 +70,9 @@ class Proc:
         self.name = name
         self._files: dict[int, _OpenFile] = {}
         self._next_fd = 3  # 0-2 reserved, as tradition demands
+        #: errno-style code ("EIO", "ENOSPC", ...) of the last failed
+        #: syscall; None until something fails.
+        self.errno: "str | None" = None
         self.addrspace = AddressSpace(system.engine, system.cpu,
                                       system.pagecache.page_size)
 
@@ -61,6 +94,7 @@ class Proc:
         yield from cpu.work("syscall", cpu.costs.syscall)
 
     # -- fd lifecycle --------------------------------------------------------
+    @_syscall
     def open(self, path: str, create: bool = False) -> Generator[Any, Any, int]:
         """Open (optionally creating) a file; returns the fd."""
         yield from self._charge_syscall()
@@ -79,12 +113,14 @@ class Proc:
     def creat(self, path: str) -> Generator[Any, Any, int]:
         return (yield from self.open(path, create=True))
 
+    @_syscall
     def close(self, fd: int) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         self._file(fd)
         del self._files[fd]
 
     # -- I/O --------------------------------------------------------------------
+    @_syscall
     def read(self, fd: int, count: int) -> Generator[Any, Any, bytes]:
         """Read ``count`` bytes at the fd's offset (short at EOF)."""
         yield from self._charge_syscall()
@@ -94,6 +130,7 @@ class Proc:
         f.offset += len(data)
         return data
 
+    @_syscall
     def write(self, fd: int, data: bytes) -> Generator[Any, Any, int]:
         """Write at the fd's offset; returns bytes written."""
         yield from self._charge_syscall()
@@ -111,6 +148,7 @@ class Proc:
         yield from self.lseek(fd, offset, SEEK_SET)
         return (yield from self.write(fd, data))
 
+    @_syscall
     def lseek(self, fd: int, offset: int, whence: int = SEEK_SET
               ) -> Generator[Any, Any, int]:
         f = self._file(fd)
@@ -128,6 +166,7 @@ class Proc:
         return new
         yield  # pragma: no cover - lseek does no I/O but stays a generator
 
+    @_syscall
     def fsync(self, fd: int) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         f = self._file(fd)
@@ -139,11 +178,13 @@ class Proc:
         f = self._file(fd)
         return self.addrspace.map(f.vnode, length, offset, writable)
 
+    @_syscall
     def munmap(self, segment) -> Generator[Any, Any, None]:
         """Remove a mapping, flushing mapped writes."""
         yield from self._charge_syscall()
         yield from self.addrspace.unmap(segment)
 
+    @_syscall
     def msync(self, segment) -> Generator[Any, Any, None]:
         """Flush a mapping's dirty pages synchronously."""
         yield from self._charge_syscall()
@@ -157,6 +198,7 @@ class Proc:
         """A store through the address space (write faults)."""
         return (yield from self.addrspace.write(addr, data))
 
+    @_syscall
     def mmap_read(self, fd: int, offset: int, length: int
                   ) -> Generator[Any, Any, int]:
         """Touch every page of [offset, offset+length) through the fault
@@ -181,34 +223,42 @@ class Proc:
         return touched
 
     # -- namespace operations ------------------------------------------------------
+    @_syscall
     def link(self, existing: str, new_path: str) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         yield from self._mount.link(existing, new_path)
 
+    @_syscall
     def symlink(self, target: str, link_path: str) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         yield from self._mount.symlink(target, link_path)
 
+    @_syscall
     def readlink(self, path: str) -> Generator[Any, Any, str]:
         yield from self._charge_syscall()
         return (yield from self._mount.readlink(path))
 
+    @_syscall
     def unlink(self, path: str) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         yield from self._mount.unlink(path)
 
+    @_syscall
     def mkdir(self, path: str) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         yield from self._mount.mkdir(path)
 
+    @_syscall
     def rmdir(self, path: str) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         yield from self._mount.rmdir(path)
 
+    @_syscall
     def readdir(self, path: str) -> Generator[Any, Any, list[tuple[str, int]]]:
         yield from self._charge_syscall()
         return (yield from self._mount.readdir(path))
 
+    @_syscall
     def stat_size(self, path: str) -> Generator[Any, Any, int]:
         yield from self._charge_syscall()
         vn = yield from self._mount.namei(path)

@@ -23,18 +23,24 @@ class System:
     """A booted machine: build, mkfs, mount, and run workloads."""
 
     def __init__(self, config: SystemConfig | None = None,
-                 engine: Engine | None = None):
+                 engine: Engine | None = None,
+                 store: DiskStore | None = None,
+                 fault_plan=None):
         """``engine`` lets several machines (e.g. an NFS client and server)
-        share one simulated world."""
+        share one simulated world.  ``store`` boots the machine against
+        existing on-disk bytes (a crash survivor, remounted); ``fault_plan``
+        is a :class:`repro.faults.FaultPlan` injected into the disk."""
         self.config = config if config is not None else SystemConfig()
         cfg = self.config
         self.engine = engine if engine is not None else Engine()
         self.cpu = Cpu(self.engine, cfg.costs)
         self.tracer = Tracer(self.engine)
-        self.store = DiskStore(cfg.geometry.total_sectors,
-                               cfg.geometry.sector_size)
+        self.store = store if store is not None else DiskStore(
+            cfg.geometry.total_sectors, cfg.geometry.sector_size)
+        self.fault_plan = fault_plan
         self.disk = RotationalDisk(self.engine, cfg.geometry, self.store,
-                                   track_buffer=cfg.track_buffer)
+                                   track_buffer=cfg.track_buffer,
+                                   fault_plan=fault_plan)
         self.driver = DiskDriver(self.engine, self.disk, cpu=self.cpu,
                                  use_disksort=cfg.use_disksort,
                                  coalesce=cfg.driver_coalesce)
@@ -67,10 +73,20 @@ class System:
         return self.mount
 
     @classmethod
-    def booted(cls, config: SystemConfig | None = None) -> "System":
+    def booted(cls, config: SystemConfig | None = None,
+               fault_plan=None) -> "System":
         """Build + mkfs + mount in one step (runs the engine briefly)."""
-        system = cls(config)
+        system = cls(config, fault_plan=fault_plan)
         system.mkfs()
+        system.run(system.mount_fs())
+        return system
+
+    @classmethod
+    def remounted(cls, store: DiskStore, config: SystemConfig | None = None,
+                  fault_plan=None) -> "System":
+        """Boot a fresh machine against existing on-disk bytes (no mkfs) —
+        how a crash-consistency campaign comes back up after a power cut."""
+        system = cls(config, store=store, fault_plan=fault_plan)
         system.run(system.mount_fs())
         return system
 

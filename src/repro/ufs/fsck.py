@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING
 
 from repro.errors import CorruptionError
 from repro.ufs.ondisk import (
-    DINODE_SIZE, IFDIR, IFLNK, IFMT, IFREG, NDADDR, ROOT_INO, CylinderGroup,
-    Dinode, Superblock, iter_dirents,
+    CG_MAGIC, DINODE_SIZE, DIRBLKSIZ, IFDIR, IFLNK, IFMT, IFREG, NDADDR,
+    ROOT_INO, CylinderGroup, Dinode, Superblock, empty_dirblock, iter_dirents,
+    pack_dirent,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -32,9 +33,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class FsckReport:
-    """Findings from one fsck pass."""
+    """Findings from one fsck pass (and, in repair mode, the repairs)."""
 
     findings: list[str] = field(default_factory=list)
+    repairs: list[str] = field(default_factory=list)
     inodes_checked: int = 0
     directories_checked: int = 0
     frags_claimed: int = 0
@@ -51,6 +53,7 @@ class FsckReport:
         lines = [f"fsck: {status}; {self.inodes_checked} inodes, "
                  f"{self.directories_checked} dirs, {self.frags_claimed} frags"]
         lines.extend(f"  - {f}" for f in self.findings)
+        lines.extend(f"  * repaired: {r}" for r in self.repairs)
         return "\n".join(lines)
 
 
@@ -63,6 +66,9 @@ class _Checker:
         self.claims: dict[int, int] = {}  # frag -> claiming inode
         self.link_counts: dict[int, int] = {}  # ino -> references seen
         self.inode_modes: dict[int, int] = {}
+        #: Structured repair hints gathered alongside the findings; applied
+        #: by :class:`_Repairer` when fsck runs with ``repair=True``.
+        self.actions: list[tuple] = []
 
     def _read_frags_raw(self, sector: int, nsectors: int) -> bytes:
         return self.store.read(sector, nsectors)
@@ -79,12 +85,14 @@ class _Checker:
                 self.report.problem(
                     f"inode {ino}: fragment {f} out of range"
                 )
+                self.actions.append(("clear_inode", ino))
                 return
             prev = self.claims.get(f)
             if prev is not None:
                 self.report.problem(
                     f"fragment {f} claimed by inodes {prev} and {ino}"
                 )
+                self.actions.append(("clear_inode", ino))
                 continue
             self.claims[f] = ino
             self.report.frags_claimed += 1
@@ -117,6 +125,7 @@ class _Checker:
             kind = din.mode & IFMT
             if kind not in (IFREG, IFDIR, IFLNK):
                 self.report.problem(f"inode {ino}: unknown mode {din.mode:#o}")
+                self.actions.append(("clear_inode", ino))
                 continue
             fast_symlink_max = (NDADDR + 2) * 4 - 1
             if kind == IFLNK:
@@ -126,6 +135,7 @@ class _Checker:
                         self.report.problem(
                             f"symlink {ino}: fast link claims blocks"
                         )
+                        self.actions.append(("set_blocks", ino, 0))
                 else:
                     nfrags = max(1, -(-din.size // sb.fsize))
                     self._claim(ino, din.direct[0], nfrags)
@@ -134,6 +144,7 @@ class _Checker:
                             f"symlink {ino}: holds {nfrags} frags but "
                             f"di_blocks says {din.blocks}"
                         )
+                        self.actions.append(("set_blocks", ino, nfrags))
                 continue
             claimed = 0
             last_lbn = (din.size - 1) // sb.bsize if din.size > 0 else -1
@@ -155,14 +166,18 @@ class _Checker:
                     f"inode {ino}: holds {claimed} frags but di_blocks says "
                     f"{din.blocks}"
                 )
+                self.actions.append(("set_blocks", ino, claimed))
             max_size = (NDADDR + nindir + nindir * nindir) * sb.bsize
             if din.size > max_size:
                 self.report.problem(f"inode {ino}: impossible size {din.size}")
+                self.actions.append(("clear_inode", ino))
 
     def _walk_pointer_block(self, ino: int, addr: int, depth: int) -> int:
         sb = self.sb
         self._claim(ino, addr, sb.frag)
         claimed = sb.frag
+        if addr <= 0 or addr + sb.frag > sb.total_frags:
+            return claimed  # _claim flagged it; nothing readable behind it
         block = self._read_frag_addr(addr, sb.bsize)
         for i in range(sb.bsize // 4):
             child = struct.unpack_from("<I", block, i * 4)[0]
@@ -179,16 +194,21 @@ class _Checker:
     def check_directories(self) -> None:
         sb = self.sb
         seen: set[int] = set()
-        stack = [(ROOT_INO, ROOT_INO)]  # (ino, parent)
+        # (ino, parent, referencing entry's (frag addr, offset) or None)
+        stack = [(ROOT_INO, ROOT_INO, None)]
         while stack:
-            ino, parent = stack.pop()
+            ino, parent, loc = stack.pop()
             if ino in seen:
                 self.report.problem(f"directory {ino} reached twice")
+                if loc is not None:
+                    self.actions.append(("zero_dirent",) + loc)
                 continue
             seen.add(ino)
             din = self._read_dinode(ino)
             if not din.is_dir:
                 self.report.problem(f"inode {ino} expected directory")
+                if loc is not None:
+                    self.actions.append(("zero_dirent",) + loc)
                 continue
             self.report.directories_checked += 1
             names: set[str] = set()
@@ -197,26 +217,32 @@ class _Checker:
                 addr = din.direct[lbn]
                 if addr == 0:
                     self.report.problem(f"directory {ino}: hole at block {lbn}")
+                    self.actions.append(("clear_inode", ino))
                     continue
                 try:
                     block = self._read_frag_addr(addr, sb.bsize)
                     entries = iter_dirents(block)
-                except CorruptionError as exc:
+                except (CorruptionError, ValueError, UnicodeDecodeError) as exc:
                     self.report.problem(f"directory {ino}: {exc}")
+                    self.actions.append(("clear_dirblock", addr))
                     continue
-                for _, child_ino, name in entries:
+                for offset, child_ino, name in entries:
                     if name in names:
                         self.report.problem(
                             f"directory {ino}: duplicate name {name!r}"
                         )
+                        self.actions.append(("zero_dirent", addr, offset))
                     names.add(name)
                     if name == ".":
                         if child_ino != ino:
                             self.report.problem(f"directory {ino}: bad '.'")
+                            self.actions.append(("fix_dirent", addr, offset, ino))
                         continue
                     if name == "..":
                         if child_ino != parent:
                             self.report.problem(f"directory {ino}: bad '..'")
+                            self.actions.append(
+                                ("fix_dirent", addr, offset, parent))
                         self.link_counts[parent] = self.link_counts.get(parent, 0) + 1
                         continue
                     mode = self.inode_modes.get(child_ino)
@@ -225,12 +251,23 @@ class _Checker:
                             f"directory {ino}: entry {name!r} -> unallocated "
                             f"inode {child_ino}"
                         )
+                        self.actions.append(("zero_dirent", addr, offset))
                         continue
                     self.link_counts[child_ino] = self.link_counts.get(child_ino, 0) + 1
                     if (mode & IFMT) == IFDIR:
-                        stack.append((child_ino, ino))
+                        stack.append((child_ino, ino, (addr, offset)))
             if "." not in names or ".." not in names:
                 self.report.problem(f"directory {ino}: missing '.' or '..'")
+                if ino == ROOT_INO and din.direct[0] != 0:
+                    # Clearing the root is unrecoverable (every later pass
+                    # would find "expected directory" forever): rebuild its
+                    # dot entries in place.  Entries sharing the first
+                    # DIRBLKSIZ chunk are sacrificed; the orphan cascade
+                    # collects whatever they referenced.
+                    self.actions.append(
+                        ("rebuild_dot", din.direct[0], ino, parent))
+                else:
+                    self.actions.append(("clear_inode", ino))
         # Note: the root's '..' entry points at itself and was counted in
         # the scan, standing in for the parent-directory entry it lacks.
         for ino, mode in self.inode_modes.items():
@@ -240,11 +277,18 @@ class _Checker:
                 expected += 1  # its own '.'
                 if ino not in seen:
                     self.report.problem(f"directory {ino} unreachable from root")
+                    self.actions.append(("clear_inode", ino))
                     continue
             if din.nlink != expected:
                 self.report.problem(
                     f"inode {ino}: nlink {din.nlink} but {expected} references"
                 )
+                if expected == 0 and ino != ROOT_INO:
+                    # Orphan: allocated but referenced by nothing (its
+                    # creating dirent never became durable).  Clear it.
+                    self.actions.append(("clear_inode", ino))
+                else:
+                    self.actions.append(("set_nlink", ino, expected))
 
     # -- phase 4: bitmaps and counters -----------------------------------------------
     def check_bitmaps(self) -> None:
@@ -329,10 +373,174 @@ class _Checker:
             )
 
 
-def fsck(store: "DiskStore") -> FsckReport:
-    """Check the file system on ``store``; returns the findings."""
+class _Repairer:
+    """Applies a checker's structured repair hints to the raw bytes, then
+    rebuilds both bitmaps and every counter from the repaired claims.
+
+    Clearing a damaged directory orphans its children; the caller re-checks
+    and re-repairs until a pass comes back clean, so cascading damage is
+    handled by iteration rather than cleverness — exactly how the real
+    fsck's multiple phases interact.
+    """
+
+    def __init__(self, store: "DiskStore", sb: Superblock):
+        self.store = store
+        self.sb = sb
+        self.frag_sectors = sb.fsize // 512
+
+    # -- raw byte access ----------------------------------------------------
+    def _read_block(self, frag_addr: int) -> bytearray:
+        nsectors = -(-self.sb.bsize // 512)
+        return bytearray(self.store.read(frag_addr * self.frag_sectors, nsectors))
+
+    def _write_block(self, frag_addr: int, data: bytes) -> None:
+        nsectors = -(-len(data) // 512)
+        self.store.write(frag_addr * self.frag_sectors,
+                         bytes(data).ljust(nsectors * 512, b"\x00"))
+
+    def _patch(self, frag_addr: int, offset: int, payload: bytes) -> None:
+        block = self._read_block(frag_addr)
+        block[offset:offset + len(payload)] = payload
+        self._write_block(frag_addr, bytes(block))
+
+    def _rewrite_dinode(self, ino: int, mutate) -> None:
+        frag_addr, offset = self.sb.inode_location(ino)
+        block = self._read_block(frag_addr)
+        din = Dinode.unpack(bytes(block[offset:offset + DINODE_SIZE]))
+        mutate(din)
+        block[offset:offset + DINODE_SIZE] = din.pack()
+        self._write_block(frag_addr, bytes(block))
+
+    # -- the repairs --------------------------------------------------------
+    def apply(self, actions: "list[tuple]", log: "list[str]") -> None:
+        done: set[tuple] = set()
+        for action in actions:
+            if action in done:
+                continue
+            done.add(action)
+            kind = action[0]
+            if kind == "clear_inode":
+                ino = action[1]
+                frag_addr, offset = self.sb.inode_location(ino)
+                self._patch(frag_addr, offset, b"\x00" * DINODE_SIZE)
+                log.append(f"cleared inode {ino}")
+            elif kind == "set_nlink":
+                _, ino, nlink = action
+
+                def set_nlink(din, nlink=nlink):
+                    din.nlink = nlink
+
+                self._rewrite_dinode(ino, set_nlink)
+                log.append(f"inode {ino}: nlink set to {nlink}")
+            elif kind == "set_blocks":
+                _, ino, blocks = action
+
+                def set_blocks(din, blocks=blocks):
+                    din.blocks = blocks
+
+                self._rewrite_dinode(ino, set_blocks)
+                log.append(f"inode {ino}: di_blocks set to {blocks}")
+            elif kind == "zero_dirent":
+                _, frag_addr, offset = action
+                self._patch(frag_addr, offset, struct.pack("<I", 0))
+                log.append(f"zeroed dirent at frag {frag_addr}+{offset}")
+            elif kind == "fix_dirent":
+                _, frag_addr, offset, ino = action
+                self._patch(frag_addr, offset, struct.pack("<I", ino))
+                log.append(f"dirent at frag {frag_addr}+{offset} -> inode {ino}")
+            elif kind == "clear_dirblock":
+                _, frag_addr = action
+                self._write_block(frag_addr, empty_dirblock(self.sb.bsize))
+                log.append(f"reset directory block at frag {frag_addr}")
+            elif kind == "rebuild_dot":
+                _, frag_addr, ino, parent = action
+                chunk = (pack_dirent(ino, ".", 12)
+                         + pack_dirent(parent, "..", DIRBLKSIZ - 12))
+                self._patch(frag_addr, 0, chunk)
+                log.append(f"rebuilt '.'/'..' of directory {ino}")
+        self._rebuild_maps(log)
+
+    def _rebuild_maps(self, log: "list[str]") -> None:
+        """Recompute every bitmap and counter from a fresh claims scan."""
+        scan = _Checker(self.store)
+        scan.check_inodes()
+        sb = scan.sb
+        claims = scan.claims
+        total_nbfree = total_nffree = total_nifree = total_ndir = 0
+        for cgx in range(sb.ncg):
+            base = sb.cgbase(cgx)
+            header = sb.cg_header_frag(cgx)
+            try:
+                cg = CylinderGroup.unpack(bytes(self._read_block(header)), sb)
+            except CorruptionError:
+                # Header itself unreadable: rebuild it from scratch.  A
+                # zeroed bitmap means "allocated", which is correct for the
+                # metadata area; the loops below set the data-area bits.
+                cg = CylinderGroup(
+                    CG_MAGIC, cgx, sb.cg_end_frag(cgx) - base, 0, 0, 0, 0,
+                    0, 0, bytearray((sb.fpg + 7) // 8),
+                    bytearray((sb.ipg + 7) // 8),
+                )
+            data_start = sb.cg_data_frag(cgx) - base
+            end = sb.cg_end_frag(cgx) - base
+            nbfree = nffree = 0
+            for block_rel in range(data_start, end - sb.frag + 1, sb.frag):
+                free_here = 0
+                for i in range(sb.frag):
+                    rel = block_rel + i
+                    free = (base + rel) not in claims
+                    cg.set_frag(rel, free)
+                    free_here += free
+                if free_here == sb.frag:
+                    nbfree += 1
+                else:
+                    nffree += free_here
+            nifree = ndir = 0
+            for i in range(sb.ipg):
+                ino = cgx * sb.ipg + i
+                allocated = ino in scan.inode_modes or ino in (0, 1)
+                cg.set_inode(i, not allocated)
+                if not allocated:
+                    nifree += 1
+                elif (scan.inode_modes.get(ino, 0) & IFMT) == IFDIR:
+                    ndir += 1
+            cg.nbfree, cg.nffree = nbfree, nffree
+            cg.nifree, cg.ndir = nifree, ndir
+            self._write_block(header, cg.pack(sb))
+            total_nbfree += nbfree
+            total_nffree += nffree
+            total_nifree += nifree
+            total_ndir += ndir
+        sb.cs_nbfree, sb.cs_nffree = total_nbfree, total_nffree
+        sb.cs_nifree, sb.cs_ndir = total_nifree, total_ndir
+        self.store.write(16, sb.pack())
+        log.append("rebuilt bitmaps, group counters, and superblock summary")
+
+
+def _check(store: "DiskStore") -> _Checker:
     checker = _Checker(store)
     checker.check_inodes()
     checker.check_directories()
     checker.check_bitmaps()
-    return checker.report
+    return checker
+
+
+def fsck(store: "DiskStore", repair: bool = False,
+         max_passes: int = 8) -> FsckReport:
+    """Check (and with ``repair=True``, repair) the file system on ``store``.
+
+    The returned report carries the first pass's findings — what was
+    *detected* — plus, in repair mode, every repair applied across however
+    many check/repair passes it took to converge.  Callers verify by
+    running a second ``fsck(store)`` and asserting ``clean``.
+    """
+    checker = _check(store)
+    report = checker.report
+    if not repair or report.clean:
+        return report
+    for _ in range(max_passes):
+        _Repairer(store, checker.sb).apply(checker.actions, report.repairs)
+        checker = _check(store)
+        if checker.report.clean:
+            break
+    return report

@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.disk.buf import Buf, BufOp
-from repro.errors import InvalidArgumentError
+from repro.errors import DiskError, InvalidArgumentError, ReproError
+from repro.sim.events import EventFailed
 from repro.ufs import bmap
 from repro.vfs.vnode import PutFlags, RW
 
@@ -33,6 +34,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.ufs.inode import Inode
     from repro.ufs.vnode import UfsVnode
     from repro.vm.page import Page
+
+
+def _await_buf(buf: "Buf") -> Generator[Any, Any, None]:
+    """biowait: wait for a buf, unwrapping the engine's ``EventFailed``
+    envelope so callers see the original :class:`DiskError`."""
+    try:
+        yield buf.done
+    except EventFailed as failure:
+        cause = failure.args[0] if failure.args else failure
+        raise cause from None
 
 
 # ---------------------------------------------------------------------------
@@ -64,6 +75,9 @@ def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ
     yield from cpu.work("getpage", cpu.costs.getpage_hit)
     action = ip.readahead.observe(offset, psize, cached)
     want = ip.cluster_blocks if action.sequential else 1
+    # Degraded mode: repeated I/O errors on this file clamp reads to one
+    # block until successes re-grow the cluster (forward progress first).
+    want = ip.readahead.health.clamp(want, 1)
 
     # bmap() to find the disk location — called even when the page is in
     # memory, because of holes (the UFS_HOLE discussion).  The future-work
@@ -86,6 +100,7 @@ def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ
             mount.stats.incr("zero_fill")
         else:
             sync_blocks = contig if tuning.read_clustering else 1
+            sync_blocks = ip.readahead.health.clamp(sync_blocks, 1)
             buf, sync_bytes = yield from _issue_read(
                 vn, offset, sync_blocks, async_=False,
                 translation=(addr, contig),
@@ -94,7 +109,23 @@ def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ
             if action.ra_after_sync:
                 yield from _maybe_readahead(vn, offset + sync_bytes)
             if buf is not None:
-                yield buf.done  # first page was not in cache: wait
+                try:
+                    yield from _await_buf(buf)  # first page not cached: wait
+                except DiskError as error:
+                    mount.stats.incr("read_errors")
+                    mount.trace.emit("read_error", offset=offset,
+                                     code=error.code)
+                    if sync_bytes <= psize:
+                        raise
+                    # A cluster-sized read failed: before surfacing EIO,
+                    # retry just the faulted page (the health tracker has
+                    # already shrunk this file's future clusters).
+                    mount.stats.incr("degraded_reads")
+                    retry, _ = yield from _issue_read(vn, offset, 1,
+                                                      async_=False)
+                    if retry is None:
+                        raise
+                    yield from _await_buf(retry)
     elif action.ra_offset is not None:
         yield from _maybe_readahead(vn, action.ra_offset)
 
@@ -115,6 +146,7 @@ def _maybe_readahead(vn: "UfsVnode", ra_offset: int) -> Generator[Any, Any, None
     if ra_offset >= ip.size:
         return
     want = ip.cluster_blocks if mount.tuning.read_clustering else 1
+    want = ip.readahead.health.clamp(want, 1)
     buf, nbytes = yield from _issue_read(vn, ra_offset, want, async_=True)
     if nbytes > 0:
         ip.readahead.issued(ra_offset, nbytes)
@@ -188,13 +220,26 @@ def _issue_read(vn: "UfsVnode", offset: int, want_blocks: int, async_: bool,
     mount.stats.incr("read_ios")
     mount.stats.incr("read_bytes", nbytes)
 
+    health = ip.readahead.health
+
     def iodone(done_buf: Buf, pages=pages, psize=psize) -> None:
+        if done_buf.error is not None:
+            # The read failed: there is nothing valid to map in.  Destroy
+            # the frames so a retry faults cleanly instead of finding a
+            # stale invalid page, and let the health tracker shrink this
+            # file's clusters.
+            for page in pages:
+                page.unlock()
+                pc.destroy(page)
+            health.record_failure()
+            return
         assert done_buf.data is not None
         for i, page in enumerate(pages):
             page.fill(done_buf.data[i * psize:(i + 1) * psize])
             page.valid = True
             page.dirty = False
             page.unlock()
+        health.record_success()
 
     buf.iodone.append(iodone)
     mount.driver.strategy(buf)
@@ -303,8 +348,16 @@ def _push_range(vn: "UfsVnode", offset: int, length: int, async_: bool,
             # No progress (pages stolen mid-flight): let time advance so
             # whoever holds them finishes, then rescan.
             seen.update(p.frame for p in cluster)
+    errors: list[BaseException] = []
     for done in waits:
-        yield done
+        try:
+            yield done
+        except EventFailed as failure:
+            errors.append(failure.args[0] if failure.args else failure)
+    if errors:
+        # Drain every wait before surfacing the first error, so no buf is
+        # left with an unconsumed failure.
+        raise errors[0]
 
 
 def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
@@ -367,15 +420,25 @@ def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
 
     throttle = ip.throttle
     charged = len(data)
+    health = ip.writecluster.health
 
     def iodone(done_buf: Buf, pages=run) -> None:
-        for page in pages:
-            page.dirty = False
-            page.unlock()
-            if invalidate:
-                pc.destroy(page)
-            elif free and not page.referenced and not page.free:
-                pc.free(page)
+        if done_buf.error is not None:
+            # The write failed: the bytes exist only in memory.  Keep the
+            # pages dirty so later writebacks retry them, and shrink this
+            # file's clusters so the error is not amplified.
+            for page in pages:
+                page.unlock()
+            health.record_failure()
+        else:
+            for page in pages:
+                page.dirty = False
+                page.unlock()
+                if invalidate:
+                    pc.destroy(page)
+                elif free and not page.referenced and not page.free:
+                    pc.free(page)
+            health.record_success()
         throttle.credit(charged)
 
     buf.iodone.append(iodone)
@@ -447,7 +510,12 @@ def _rdwr_read(vn: "UfsVnode", offset: int, count: int
         chunk = min(psize - (offset - page_off), remaining)
         yield from cpu.work("segmap", cpu.costs.segmap)
         yield from cpu.work("fault", cpu.costs.fault)
-        page = yield from ufs_getpage(vn, page_off, RW.READ)
+        try:
+            page = yield from ufs_getpage(vn, page_off, RW.READ)
+        except DiskError:
+            if parts:
+                break  # partial read: return the bytes that arrived
+            raise
         yield from page.lock_wait()
         yield from cpu.copy("copyout", chunk)
         parts.append(bytes(page.data[offset - page_off:offset - page_off + chunk]))
@@ -490,37 +558,45 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
         frags_needed = _frags_for(sb, lbn, new_size)
         yield from cpu.work("segmap", cpu.costs.segmap)
 
-        # Growing past the tail block: the old tail's fragment run must be
-        # expanded to a full block first (classic UFS), preserving its data.
-        if ip.size > 0:
-            old_last = (ip.size - 1) // sb.bsize
-            if lbn > old_last and old_last < len(ip.direct):
-                yield from _expand_frag_tail(vn, old_last)
-            if lbn > old_last + 1:
-                ip.maybe_holes = True  # whole blocks skipped: a hole
-        elif lbn > 0:
-            ip.maybe_holes = True
-        ip.inline_data = None  # writes invalidate the inline cache
+        try:
+            # Growing past the tail block: the old tail's fragment run must
+            # be expanded to a full block first (classic UFS), preserving
+            # its data.
+            if ip.size > 0:
+                old_last = (ip.size - 1) // sb.bsize
+                if lbn > old_last and old_last < len(ip.direct):
+                    yield from _expand_frag_tail(vn, old_last)
+                if lbn > old_last + 1:
+                    ip.maybe_holes = True  # whole blocks skipped: a hole
+            elif lbn > 0:
+                ip.maybe_holes = True
+            ip.inline_data = None  # writes invalidate the inline cache
 
-        old_ptr = yield from bmap.get_pointer(mount, ip, lbn)
-        yield from bmap.bmap_alloc(mount, ip, lbn, frags_needed)
+            old_ptr = yield from bmap.get_pointer(mount, ip, lbn)
+            yield from bmap.bmap_alloc(mount, ip, lbn, frags_needed)
 
-        page = pc.lookup(vn, page_off)
-        if page is not None:
-            if page.locked and not page.valid:
-                yield from page.wait_unlocked()
-                page = pc.lookup(vn, page_off)
-        if page is None:
-            if old_ptr == bmap.HOLE or (in_page == 0 and chunk >= min(
-                    psize, new_size - page_off)):
-                # Nothing old to preserve: take a fresh zeroed page.
-                page = yield from _grab_page(vn, page_off)
-                page.zero()
-                page.valid = True
-                page.unlock()
-            else:
-                yield from cpu.work("fault", cpu.costs.fault)
-                page = yield from ufs_getpage(vn, page_off, RW.WRITE)
+            page = pc.lookup(vn, page_off)
+            if page is not None:
+                if page.locked and not page.valid:
+                    yield from page.wait_unlocked()
+                    page = pc.lookup(vn, page_off)
+            if page is None:
+                if old_ptr == bmap.HOLE or (in_page == 0 and chunk >= min(
+                        psize, new_size - page_off)):
+                    # Nothing old to preserve: take a fresh zeroed page.
+                    page = yield from _grab_page(vn, page_off)
+                    page.zero()
+                    page.valid = True
+                    page.unlock()
+                else:
+                    yield from cpu.work("fault", cpu.costs.fault)
+                    page = yield from ufs_getpage(vn, page_off, RW.WRITE)
+        except ReproError:
+            # Partial-write semantics: if earlier chunks landed, report
+            # them; the error resurfaces on the next write or fsync.
+            if written:
+                break
+            raise
         yield from page.lock_wait()
         yield from cpu.copy("copyin", chunk)
         page.data[in_page:in_page + chunk] = data[written:written + chunk]

@@ -1,0 +1,80 @@
+"""Tests for ClusterHealth: degrade on repeated errors, re-grow on success."""
+
+import pytest
+
+from repro.core.health import ClusterHealth
+from repro.core.readahead import ReadAheadState
+from repro.core.writecluster import WriteClusterState
+from repro.units import KB
+
+
+def test_threshold_validated():
+    with pytest.raises(ValueError):
+        ClusterHealth(threshold=0)
+
+
+def test_degrades_after_threshold_consecutive_failures():
+    h = ClusterHealth(threshold=2)
+    assert not h.degraded
+    h.record_failure()
+    assert not h.degraded  # one failure is forgiven
+    h.record_failure()
+    assert h.degraded
+    assert h.degradations == 1
+
+
+def test_clamp_only_while_degraded():
+    h = ClusterHealth(threshold=1)
+    assert h.clamp(56 * KB, 8 * KB) == 56 * KB
+    h.record_failure()
+    assert h.clamp(56 * KB, 8 * KB) == 8 * KB
+    # A transfer already at or below one block passes through unchanged.
+    assert h.clamp(4 * KB, 8 * KB) == 4 * KB
+
+
+def test_success_pays_off_failures_linearly():
+    h = ClusterHealth(threshold=2)
+    h.record_failure()
+    h.record_failure()
+    h.record_failure()
+    assert h.degraded
+    h.record_success()
+    assert h.degraded  # still one failure above threshold - 1
+    h.record_success()
+    assert not h.degraded  # paid back below the threshold
+    h.record_success()
+    h.record_success()  # extra successes do not go negative
+    assert h.failures == 0
+
+
+def test_reentering_degraded_counts_again():
+    h = ClusterHealth(threshold=1)
+    h.record_failure()
+    h.record_success()
+    h.record_failure()
+    assert h.degradations == 2
+
+
+def test_readahead_state_carries_health_and_resets_it():
+    state = ReadAheadState()
+    state.health.record_failure()
+    state.health.record_failure()
+    assert state.health.degraded
+    state.reset()
+    assert not state.health.degraded
+
+
+def test_writecluster_offer_clamps_when_degraded():
+    page_size = 8 * KB
+    state = WriteClusterState()
+    for _ in range(state.health.threshold):
+        state.health.record_failure()
+    flushes = []
+    for i in range(7):
+        action = state.offer(offset=i * page_size, page_size=page_size,
+                             max_bytes=56 * KB)
+        if action.should_flush:
+            flushes.append(action.flush_len)
+    # Degraded: every page pushes immediately as a single block, so the
+    # delayed-write machine never builds (and never loses) a 56 KB cluster.
+    assert flushes == [page_size] * 7

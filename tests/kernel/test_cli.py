@@ -36,6 +36,13 @@ def test_cli_musbus():
     assert "config A" in result.stdout
 
 
+def test_cli_faultcampaign_smoke():
+    result = run_cli("faultcampaign", "--cuts", "3")
+    assert result.returncode == 0
+    assert "clean_after_repair" in result.stdout
+    assert "silent_corruptions" in result.stdout
+
+
 @pytest.mark.slow
 def test_cli_iobench_small():
     result = run_cli("iobench", "--configs", "A", "--file-mb", "2")

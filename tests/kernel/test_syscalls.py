@@ -172,3 +172,81 @@ def test_stat_size(system, proc):
         return (yield from proc.stat_size("/sized"))
 
     assert system.run(work()) == 12345
+
+
+def test_errno_mirrors_last_failure(system, proc):
+    assert proc.errno is None
+    with pytest.raises(FileNotFoundError_):
+        system.run(proc.open("/nope"))
+    assert proc.errno == "ENOENT"
+
+    def closed_read():
+        fd = yield from proc.creat("/f")
+        yield from proc.close(fd)
+        yield from proc.read(fd, 10)
+
+    with pytest.raises(BadFileError):
+        system.run(closed_read())
+    assert proc.errno == "EBADF"
+    # Like the C library: success does not clear errno.
+    system.run(proc.stat_size("/f"))
+    assert proc.errno == "EBADF"
+
+
+def _write_then_evict(system, proc, path, nbytes):
+    def work():
+        fd = yield from proc.creat(path)
+        yield from proc.write(fd, b"\x5a" * nbytes)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(work())
+    vn = system.run(system.mount.namei(path))
+    for page in system.pagecache.vnode_pages(vn):
+        if not page.locked and not page.dirty:
+            system.pagecache.destroy(page)
+    vn.inode.readahead.reset()
+
+
+def test_disk_error_surfaces_as_eio(system, proc):
+    from repro.errors import DiskError
+    from repro.faults import FaultPlan
+
+    _write_then_evict(system, proc, "/f", 8 * KB)
+    # Every media access now fails; retries exhaust and EIO surfaces.
+    system.disk.fault_plan = FaultPlan(read_transient_p=1.0)
+
+    def work():
+        fd = yield from proc.open("/f")
+        yield from proc.read(fd, 8 * KB)
+
+    with pytest.raises(DiskError):
+        system.run(work())
+    assert proc.errno == "EIO"
+
+
+def test_read_returns_partial_data_before_an_error(system, proc):
+    from repro.faults import FaultPlan
+
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"\x5a" * (16 * KB))
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(work())
+    # Page 0 stays cached; page 1 must come from the now-broken disk.
+    vn = system.run(system.mount.namei("/f"))
+    for page in system.pagecache.vnode_pages(vn):
+        if page.offset >= 8 * KB and not page.locked and not page.dirty:
+            system.pagecache.destroy(page)
+    vn.inode.readahead.reset()
+    system.disk.fault_plan = FaultPlan(read_transient_p=1.0)
+
+    def work():
+        fd = yield from proc.open("/f")
+        return (yield from proc.read(fd, 16 * KB))
+
+    # POSIX short read: the bytes before the failure are returned; the
+    # *next* read at the failed offset would raise.
+    assert system.run(work()) == b"\x5a" * (8 * KB)
