@@ -9,6 +9,9 @@ Commands:
 * ``traces`` — print the figure 3/6/7 event-trace diagrams;
 * ``faultcampaign [--cuts 50] [--seed 0]`` — seeded power-cut
   crash-consistency sweep (fault injection + fsck repair);
+* ``netcampaign [--seeds 20] [--seed 0]`` — seeded network-fault sweep
+  over NFS (drops/duplicates/corruption/partitions/server reboots against
+  the RPC hardening: no lost acknowledged writes, exactly-once mutations);
 * ``demo`` — a short guided tour (quickstart + fsck).
 """
 
@@ -108,6 +111,27 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_netcampaign(args: argparse.Namespace) -> int:
+    from repro.faults import NetCampaign
+
+    if args.seeds < 1:
+        print("netcampaign: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    campaign = NetCampaign(seeds=args.seeds, base_seed=args.seed)
+    print(f"running {args.seeds} seeded network-fault schedules "
+          f"(base seed={args.seed}) over an NFS workload...")
+    stats = campaign.run()
+    print(stats)
+    if not stats.ok:
+        print("FAILED: an RPC-hardening invariant was violated")
+        return 1
+    if stats.retransmits == 0 or stats.drc_hits == 0:
+        print("FAILED: the sweep never exercised retransmission / the "
+              "duplicate-request cache (fault injection inert?)")
+        return 1
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from examples.quickstart import main as quickstart_main  # type: ignore
 
@@ -152,6 +176,14 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--trace", action="store_true",
                    help="print a per-cut trace summary")
     p.set_defaults(fn=_cmd_faultcampaign)
+
+    p = sub.add_parser("netcampaign",
+                       help="seeded network-fault sweep over NFS")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of seeded fault schedules (default 20)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed (schedules use seed..seed+seeds-1)")
+    p.set_defaults(fn=_cmd_netcampaign)
 
     p = sub.add_parser("demo", help="guided quickstart")
     p.set_defaults(fn=_cmd_demo)

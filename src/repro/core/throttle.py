@@ -31,6 +31,7 @@ class WriteThrottle:
         self.limit = limit
         self.value = limit
         self._waiters: list[Event] = []
+        self._drain_waiters: list[Event] = []
         self.sleeps = 0
 
     @property
@@ -73,6 +74,19 @@ class WriteThrottle:
         self.take(nbytes)
         yield from self.wait_ok()
 
+    def drain(self) -> Generator[Event, Any, None]:
+        """Sleep until no bytes are in flight (the semaphore is full again).
+
+        Completion includes *failed* writes — whoever queued the write must
+        credit() from its error path too — so a drain can never wedge on a
+        lost slot.  fsync-style barriers use this to let write-behind
+        settle before deciding what failed.
+        """
+        while self.enabled and self.value < self.limit:
+            ev = Event(self.engine, name="write-drain")
+            self._drain_waiters.append(ev)
+            yield ev
+
     def credit(self, nbytes: int) -> None:
         """A queued write of ``nbytes`` completed (called from iodone)."""
         if nbytes < 0:
@@ -85,4 +99,8 @@ class WriteThrottle:
         if self.value >= 0 and self._waiters:
             waiters, self._waiters = self._waiters, []
             for ev in waiters:
+                ev.succeed()
+        if self.value >= self.limit and self._drain_waiters:
+            drainers, self._drain_waiters = self._drain_waiters, []
+            for ev in drainers:
                 ev.succeed()

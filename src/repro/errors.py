@@ -60,6 +60,20 @@ class PowerLossError(DiskError):
     code = "EIO"
 
 
+class NetworkError(ReproError):
+    """Base class for network/RPC level errors (the NFS path)."""
+
+    code = "EIO"
+
+
+class RpcTimeoutError(NetworkError):
+    """A soft-mounted RPC exhausted its retransmissions: the major timeout
+    expired with no reply (ETIMEDOUT).  Hard mounts never raise this — they
+    retry forever, exactly like ``mount -o hard``."""
+
+    code = "ETIMEDOUT"
+
+
 class FilesystemError(ReproError):
     """Base class for file-system level errors."""
 

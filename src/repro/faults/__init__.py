@@ -1,6 +1,6 @@
-"""Fault injection: deterministic disk-fault plans and crash campaigns.
+"""Fault injection: deterministic disk and network fault plans and campaigns.
 
-The fault model lives in two layers:
+The fault model lives in two layers per medium:
 
 * :class:`FaultPlan` — a seeded schedule of disk faults (latent bad
   sectors, transient failures, controller timeouts, power cuts) injected
@@ -10,11 +10,22 @@ The fault model lives in two layers:
 * :class:`CrashCampaign` — a seeded sweep of power-cut points over a write
   workload, asserting that fsck detects and repairs every torn-write
   inconsistency and that fsync's durability promise is never broken.
+* :class:`NetFaultPlan` — the network twin: a seeded schedule of datagram
+  drops, duplicates, corruption, reordering, latency spikes, link
+  partitions, and server crash/reboot windows injected into
+  :class:`repro.nfs.net.Network`; the NFS client's retransmission and the
+  server's duplicate-request cache are exercised against it.
+* :class:`NetCampaign` — a seeded sweep of network-fault schedules over an
+  NFS create/write/fsync/remove workload, asserting no acknowledged write
+  is ever lost, mutations stay exactly-once, and corrupt bytes never reach
+  the client's page cache.
 """
 
 from repro.faults.campaign import (
     CampaignStats, CrashCampaign, default_campaign_config,
 )
+from repro.faults.netcampaign import NetCampaign, NetCampaignStats
+from repro.faults.netplan import NetDecision, NetFaultPlan
 from repro.faults.plan import FaultDecision, FaultKind, FaultPlan
 
 __all__ = [
@@ -23,5 +34,9 @@ __all__ = [
     "FaultDecision",
     "FaultKind",
     "FaultPlan",
+    "NetCampaign",
+    "NetCampaignStats",
+    "NetDecision",
+    "NetFaultPlan",
     "default_campaign_config",
 ]

@@ -61,13 +61,21 @@ class _OpenFile:
 
 
 class Proc:
-    """A simulated process: an fd table and an address space."""
+    """A simulated process: an fd table and an address space.
 
-    def __init__(self, system: "System", name: str = "proc"):
+    ``mount`` overrides the file system the process talks to — the vnode
+    architecture's point being that any Vfs with the namespace surface
+    works, so a process on a diskless client can run against an
+    :class:`~repro.nfs.client.NfsMount` and still see errno semantics
+    (including ETIMEDOUT from a soft mount's major timeout).
+    """
+
+    def __init__(self, system: "System", name: str = "proc", mount=None):
         from repro.vm.addrspace import AddressSpace
 
         self.system = system
         self.name = name
+        self._mount_override = mount
         self._files: dict[int, _OpenFile] = {}
         self._next_fd = 3  # 0-2 reserved, as tradition demands
         #: errno-style code ("EIO", "ENOSPC", ...) of the last failed
@@ -78,7 +86,8 @@ class Proc:
 
     @property
     def _mount(self):
-        mount = self.system.mount
+        mount = (self._mount_override if self._mount_override is not None
+                 else self.system.mount)
         if mount is None:
             raise RuntimeError("file system not mounted")
         return mount

@@ -20,9 +20,10 @@ the file system [who] benefit", up to the point the wire saturates (which
 the benchmark shows).
 """
 
-from repro.nfs.client import NfsMount, NfsVnode
-from repro.nfs.net import Network
+from repro.nfs.client import NfsMount, NfsVnode, RttEstimator
+from repro.nfs.net import Delivery, Network
 from repro.nfs.server import NfsServer
 from repro.nfs.world import build_world
 
-__all__ = ["Network", "NfsMount", "NfsServer", "NfsVnode", "build_world"]
+__all__ = ["Delivery", "Network", "NfsMount", "NfsServer", "NfsVnode",
+           "RttEstimator", "build_world"]

@@ -1,33 +1,53 @@
 """The NFS server: stateless v2-style handlers over a server-side UFS.
 
 Each RPC names the file by handle (its inode number); the server holds no
-per-client state ("the beauty of NFS").  WRITEs are committed to stable
-storage before the reply, v2-style — which makes remote writes painfully
-synchronous and is half the reason biod write-behind exists on the client.
+per-client state ("the beauty of NFS") — except the one piece of soft
+state every real NFS server grew: an xid-keyed **duplicate-request cache**
+(DRC).  A lossy wire makes clients retransmit, and a retransmitted
+non-idempotent op (REMOVE, exclusive CREATE) re-executed verbatim turns
+into the classic spurious-ENOENT/EEXIST bug.  :meth:`NfsServer.receive`
+answers retransmissions from the cache instead of re-executing them, and
+drops retransmissions of calls still in progress.
+
+WRITEs are committed to stable storage before the reply, v2-style — which
+makes remote writes painfully synchronous and is half the reason biod
+write-behind exists on the client.
 
 The server is its own "machine": its own CPU and its own disk stack; only
 the network couples it to the client.  ``nfsd_threads`` requests are
-served concurrently, as the real nfsd pool did.
+served concurrently, as the real nfsd pool did.  When the attached
+:class:`~repro.faults.netplan.NetFaultPlan` schedules a crash, the server
+loses its volatile state: requests during the outage are dropped, replies
+to calls caught mid-flight are lost, and the DRC cold-starts — the disk
+itself is write-through, so durable bytes survive (the disk-side
+``FaultPlan`` is where storage loss lives).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.errors import FileNotFoundError_
-from repro.sim.events import Event
+from repro.errors import FileExistsError_, FileNotFoundError_, ReproError
 from repro.sim.resources import Resource
 from repro.sim.stats import StatSet
 from repro.units import US
 from repro.vfs.vnode import PutFlags, RW
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.netplan import NetFaultPlan
     from repro.sim.engine import Engine
     from repro.ufs.mount import UfsMount
 
 #: Approximate on-the-wire size of an RPC header (v2 + UDP + IP).
 RPC_HEADER = 128
+
+#: Ops whose execution mutates the file system (DRC accounting).
+MUTATING_OPS = frozenset({"create", "write", "remove"})
+
+#: DRC sentinel: the original transmission is still executing.
+_IN_PROGRESS = object()
 
 
 @dataclass
@@ -38,16 +58,104 @@ class RpcResult:
     wire_bytes: int = RPC_HEADER
 
 
+@dataclass
+class RpcReply:
+    """A reply as it goes on the wire: outcome plus payload.
+
+    ``status`` is ``"ok"`` (payload is the result value) or ``"err"``
+    (payload is the modelled :class:`~repro.errors.ReproError` — errors are
+    replies too, and are cached in the DRC like any other).
+    """
+
+    status: str
+    payload: Any
+    wire_bytes: int = RPC_HEADER
+
+
 class NfsServer:
-    """Serves LOOKUP/GETATTR/READ/WRITE/CREATE/COMMIT on a UfsMount."""
+    """Serves LOOKUP/GETATTR/READ/WRITE/CREATE/REMOVE/COMMIT on a UfsMount."""
 
     def __init__(self, engine: "Engine", mount: "UfsMount",
-                 nfsd_threads: int = 2, per_rpc_cpu: float = 300 * US):
+                 nfsd_threads: int = 2, per_rpc_cpu: float = 300 * US,
+                 drc_size: int = 256,
+                 fault_plan: "NetFaultPlan | None" = None):
+        if drc_size < 0:
+            raise ValueError("drc_size must be >= 0")
         self.engine = engine
         self.mount = mount
         self.per_rpc_cpu = per_rpc_cpu
+        self.drc_size = drc_size
+        self.fault_plan = fault_plan
         self._nfsds = Resource(engine, capacity=nfsd_threads, name="nfsd")
+        self._drc: "OrderedDict[int, RpcReply]" = OrderedDict()
+        self._crash_epoch = 0
+        #: xids of mutating ops already executed once — accounting only (a
+        #: real server has no such table; campaigns use it to prove the DRC
+        #: made retransmitted mutations effectively exactly-once).
+        self._executed_mutations: set[int] = set()
         self.stats = StatSet("nfsd")
+
+    # -- the hardened entry point (one datagram arriving) ---------------------
+    def receive(self, xid: int, op: str, corrupted: bool = False,
+                **args: Any) -> Generator[Any, Any, "RpcReply | None"]:
+        """Handle one arriving request datagram; None means no reply.
+
+        The checksum is verified first (a corrupted request is discarded,
+        never executed — a garbage WRITE must not reach the disk), then the
+        crash window, then the DRC, and only then the real handler.
+        """
+        now = self.engine.now
+        plan = self.fault_plan
+        if plan is not None:
+            epoch = plan.server_crash_epoch(now)
+            if epoch > self._crash_epoch:
+                # The machine went down and came back: volatile state gone.
+                self._crash_epoch = epoch
+                self._drc.clear()
+                self.stats.incr("reboots")
+            if plan.server_down(now):
+                self.stats.incr("dropped_while_down")
+                return None
+        if corrupted:
+            self.stats.incr("corrupt_requests_rejected")
+            return None
+        opkey = op.lower()
+        if self.drc_size > 0:
+            cached = self._drc.get(xid)
+            if cached is _IN_PROGRESS:
+                # The original is still executing; answering now would race
+                # it, so the retransmission is dropped (the client's timer
+                # covers us).
+                self.stats.incr("drc_in_progress_drops")
+                return None
+            if cached is not None:
+                self.stats.incr("drc_hits")
+                self._drc.move_to_end(xid)
+                return cached
+            self._drc[xid] = _IN_PROGRESS  # type: ignore[assignment]
+        if opkey in MUTATING_OPS:
+            if xid in self._executed_mutations:
+                self.stats.incr("duplicate_executions")
+            self._executed_mutations.add(xid)
+        try:
+            result = yield from self.call(op, **args)
+            reply = RpcReply("ok", result.value, result.wire_bytes)
+        except ReproError as exc:
+            reply = RpcReply("err", exc)
+        if plan is not None and plan.server_crash_epoch(self.engine.now) > self._crash_epoch:
+            # The server crashed while this call was executing: its reply
+            # dies with the machine (the disk may already hold the side
+            # effects — write-through), and the DRC entry never forms.
+            self._drc.pop(xid, None)
+            self.stats.incr("replies_lost_to_crash")
+            return None
+        if self.drc_size > 0:
+            self._drc[xid] = reply
+            self._drc.move_to_end(xid)
+            while len(self._drc) > self.drc_size:
+                self._drc.popitem(last=False)
+                self.stats.incr("drc_evictions")
+        return reply
 
     # -- dispatch -----------------------------------------------------------
     def call(self, op: str, **args: Any) -> Generator[Any, Any, RpcResult]:
@@ -70,9 +178,12 @@ class NfsServer:
         vn = yield from self.mount.namei(path)
         return RpcResult((vn.inode.ino, vn.size))
 
-    def _op_create(self, path: str) -> Generator[Any, Any, RpcResult]:
+    def _op_create(self, path: str, exclusive: bool = False
+                   ) -> Generator[Any, Any, RpcResult]:
         try:
             vn = yield from self.mount.namei(path)
+            if exclusive:
+                raise FileExistsError_(f"{path} exists")
         except FileNotFoundError_:
             vn = yield from self.mount.create(path)
         return RpcResult((vn.inode.ino, vn.size))
@@ -99,6 +210,11 @@ class NfsServer:
         length = offset + len(data) - start
         yield from vn.putpage(start, length, PutFlags())
         return RpcResult(n)
+
+    def _op_remove(self, path: str) -> Generator[Any, Any, RpcResult]:
+        """The canonical non-idempotent op: a second execution is ENOENT."""
+        yield from self.mount.unlink(path)
+        return RpcResult(None)
 
     def _op_commit(self, handle: int) -> Generator[Any, Any, RpcResult]:
         vn = yield from self.mount.iget(handle)

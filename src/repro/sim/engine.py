@@ -19,6 +19,24 @@ class SimulationError(RuntimeError):
     """Raised when the simulation itself is misused (not a modelled failure)."""
 
 
+class Scheduled:
+    """A handle to one heap entry, so callers can cancel it.
+
+    A cancelled entry is skipped silently when it reaches the top of the
+    heap — in particular it does *not* advance simulated time, which is what
+    lets retransmission timers be abandoned the moment a reply arrives
+    without leaving a dead-time tail at the end of the run.
+    """
+
+    __slots__ = ("fn", "arg", "daemon", "cancelled")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any, daemon: bool):
+        self.fn = fn
+        self.arg = arg
+        self.daemon = daemon
+        self.cancelled = False
+
+
 class Engine:
     """A discrete-event simulation engine with generator-based processes.
 
@@ -36,7 +54,7 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[Any], None], Any, bool]] = []
+        self._heap: list[tuple[float, int, Scheduled]] = []
         self._seq = count()
         self._live = 0  # non-daemon heap entries
         self._crashed: list[tuple[Process, BaseException]] = []
@@ -50,20 +68,36 @@ class Engine:
 
     # -- scheduling primitives --------------------------------------------
     def schedule(self, delay: float, fn: Callable[[Any], None], arg: Any = None,
-                 daemon: bool = False) -> None:
+                 daemon: bool = False) -> Scheduled:
         """Schedule ``fn(arg)`` to run ``delay`` seconds from now.
 
         ``daemon=True`` marks an entry that must not keep the simulation
         alive: :meth:`run` stops once only daemon entries remain (so
         periodic background services like update(8) don't make run-to-idle
         spin forever).
+
+        Returns a :class:`Scheduled` handle accepted by :meth:`cancel`.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap,
-                       (self._now + delay, next(self._seq), fn, arg, daemon))
+        entry = Scheduled(fn, arg, daemon)
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), entry))
         if not daemon:
             self._live += 1
+        return entry
+
+    def cancel(self, entry: Scheduled) -> None:
+        """Cancel a scheduled entry; a no-op if already cancelled or fired.
+
+        The heap slot stays behind but is skipped (without advancing time)
+        when popped, and stops counting toward run-to-idle liveness.
+        """
+        if entry.cancelled:
+            return
+        entry.cancelled = True
+        if not entry.daemon:
+            entry.daemon = True  # stop counting toward liveness exactly once
+            self._live -= 1
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered event."""
@@ -83,16 +117,21 @@ class Engine:
 
     # -- execution ---------------------------------------------------------
     def step(self) -> bool:
-        """Run the single next scheduled callback.  Returns False if idle."""
-        if not self._heap:
-            return False
-        when, _, fn, arg, daemon = heapq.heappop(self._heap)
-        assert when >= self._now, "event heap went backwards"
-        self._now = when
-        if not daemon:
-            self._live -= 1
-        fn(arg)
-        return True
+        """Run the single next scheduled callback.  Returns False if idle.
+
+        Cancelled entries are discarded without running or advancing time.
+        """
+        while self._heap:
+            when, _, entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            assert when >= self._now, "event heap went backwards"
+            self._now = when
+            if not entry.daemon:
+                self._live -= 1
+            entry.fn(entry.arg)
+            return True
+        return False
 
     def run(self, until: float | None = None) -> None:
         """Run until the heap drains or simulated time reaches ``until``.

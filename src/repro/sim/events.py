@@ -124,7 +124,7 @@ class Timeout(Event):
     must not keep :meth:`Engine.run` alive (see Engine.schedule).
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None,
                  daemon: bool = False):
@@ -132,7 +132,16 @@ class Timeout(Event):
             raise ValueError(f"negative timeout delay {delay}")
         super().__init__(engine, name=f"timeout({delay:g})")
         self.delay = delay
-        engine.schedule(delay, self._expire, value, daemon=daemon)
+        self._entry = engine.schedule(delay, self._expire, value, daemon=daemon)
+
+    def cancel(self) -> None:
+        """Abandon the timeout: it will never trigger (no-op if it has).
+
+        Used by races like "reply versus retransmission timer" so the loser
+        does not keep the engine busy or stretch simulated time.
+        """
+        if not self.triggered:
+            self.engine.cancel(self._entry)
 
     def _expire(self, value: Any) -> None:
         self.succeed(value)

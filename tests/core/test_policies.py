@@ -86,6 +86,79 @@ def test_throttle_disabled_is_free():
     throttle.credit(10**9)  # no-op
 
 
+def test_throttle_drain_waits_for_all_in_flight():
+    eng = Engine()
+    throttle = WriteThrottle(eng, limit=16 * KB)
+    done = []
+
+    def barrier():
+        throttle.take(8 * KB)
+        throttle.take(8 * KB)
+        yield from throttle.drain()
+        done.append(eng.now)
+
+    def completer():
+        yield eng.timeout(3)
+        throttle.credit(8 * KB)  # one back: drain must keep waiting
+        yield eng.timeout(3)
+        throttle.credit(8 * KB)
+
+    eng.process(barrier())
+    eng.process(completer())
+    eng.run()
+    assert done == [6]
+    assert throttle.in_flight == 0
+
+
+def test_throttle_drain_returns_immediately_when_idle():
+    eng = Engine()
+    throttle = WriteThrottle(eng, limit=16 * KB)
+
+    def barrier():
+        yield from throttle.drain()
+        return eng.now
+
+    assert eng.run_process(barrier()) == 0
+
+    # Disabled throttles never hold anything to drain.
+    free = WriteThrottle(eng, limit=0)
+
+    def barrier_free():
+        yield from free.drain()
+        return eng.now
+
+    assert eng.run_process(barrier_free()) == 0
+
+
+def test_throttle_error_path_credit_unblocks_drain():
+    """Failed write-behind must credit too, or drain would wedge forever —
+    the release-on-error contract the NFS client's _push_one relies on."""
+    eng = Engine()
+    throttle = WriteThrottle(eng, limit=8 * KB)
+    done = []
+
+    def failing_write():
+        throttle.take(8 * KB)
+        yield eng.timeout(1)
+        try:
+            raise RuntimeError("wire trouble")
+        except RuntimeError:
+            pass  # the error is recorded elsewhere...
+        finally:
+            throttle.credit(8 * KB)  # ...but the slot always comes back
+
+    def barrier():
+        yield eng.timeout(0.5)
+        yield from throttle.drain()
+        done.append(eng.now)
+
+    eng.process(failing_write())
+    eng.process(barrier())
+    eng.run()
+    assert done == [1]
+    assert throttle.in_flight == 0
+
+
 def test_throttle_overcredit_detected():
     eng = Engine()
     throttle = WriteThrottle(eng, limit=8 * KB)

@@ -1,0 +1,44 @@
+"""Tests for the network-fault campaign."""
+
+import pytest
+
+from repro.faults import NetCampaign, NetFaultPlan
+
+
+def test_small_sweep_holds_every_invariant():
+    campaign = NetCampaign(seeds=4)
+    stats = campaign.run()
+    assert stats.ok
+    assert stats.runs == 4
+    assert stats.acked_files > 0 and stats.acked_bytes > 0
+    assert stats.removes > 0
+    # The sweep must actually exercise the hardening, not idle through.
+    assert stats.retransmits > 0
+    assert stats.drops_injected > 0
+    assert stats.drc_hits > 0
+    # The statset mirror carries the same numbers.
+    assert campaign.statset["retransmits"] == stats.retransmits
+    assert campaign.statset["lost_acked_writes"] == 0
+
+
+def test_same_base_seed_reproduces_the_sweep():
+    a = NetCampaign(seeds=3).run()
+    b = NetCampaign(seeds=3).run()
+    assert a.as_dict() == b.as_dict()
+    assert a.determinism_failures == 0  # the built-in replay check agreed
+
+
+def test_plan_derivation_is_seed_stable():
+    campaign = NetCampaign(seeds=1)
+    campaign._window = (0.05, 0.5)
+    p1, p2 = campaign._plan_for(9), campaign._plan_for(9)
+    assert (p1.drop_p, p1.partitions, p1.server_crash_at) == \
+        (p2.drop_p, p2.partitions, p2.server_crash_at)
+    assert isinstance(p1, NetFaultPlan)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NetCampaign(seeds=0)
+    with pytest.raises(ValueError):
+        NetCampaign(nfiles=1)
