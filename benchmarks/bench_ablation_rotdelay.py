@@ -10,8 +10,6 @@ Four cells: rotdelay {4ms, 0} x track buffer {on, off}, old (unclustered)
 code everywhere.
 """
 
-import pytest
-
 from repro.bench.report import Table
 from repro.kernel import Proc, System, SystemConfig
 from repro.ufs import FsParams

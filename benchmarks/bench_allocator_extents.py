@@ -12,8 +12,6 @@ preserved.  The conclusion under test is the paper's: the allocator does
 well enough that preallocation is unnecessary.
 """
 
-import pytest
-
 from repro.bench.agefs import age_filesystem, measure_extents
 from repro.disk import DiskGeometry
 from repro.kernel import Proc, System, SystemConfig

@@ -7,7 +7,7 @@ one track's worth of blocks, the way the paper's figures 4 and 5 draw it.
 
 from repro.disk import DiskGeometry
 from repro.kernel import Proc, System, SystemConfig
-from repro.ufs import FsParams, bmap
+from repro.ufs import bmap
 from repro.units import KB
 
 

@@ -12,7 +12,6 @@ bottleneck and the full ~1.9x ratio reappears.
 """
 
 from repro.bench.report import Table
-from repro.disk import DiskGeometry
 from repro.kernel import SystemConfig
 from repro.nfs import build_world
 from repro.nfs.net import ETHERNET_10MBIT

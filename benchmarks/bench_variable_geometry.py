@@ -15,8 +15,6 @@ from repro.bench.report import Table
 from repro.disk import DiskGeometry
 from repro.kernel import Proc, System, SystemConfig
 from repro.ufs import FsParams, bmap
-from repro.ufs.inode import Inode
-from repro.ufs.ondisk import Dinode, IFREG
 from repro.units import KB, MB
 
 # Small enough to stay inside one cylinder group (no maxbpg spill out of
@@ -80,8 +78,6 @@ def zone_rate(zone_cyl):
 
 
 def test_zones_have_no_single_correct_extent_size(once):
-    geometry = DiskGeometry.zoned_520mb()
-
     def run():
         return {
             "outer": zone_rate(50),

@@ -17,7 +17,6 @@ Run:  python examples/diskless_workstation.py
 from repro.kernel import Proc, SystemConfig
 from repro.nfs import build_world
 from repro.units import KB
-from repro.vfs import RW
 from repro.vm.addrspace import AddressSpace
 
 TEXT = b"\x7fELF-ish program text  " * 300         # ~6.6 KB of "a.out"

@@ -22,20 +22,54 @@ import sys
 
 
 def _cmd_iobench(args: argparse.Namespace) -> int:
-    from repro.bench.iobench import run_configs
+    import dataclasses
+
+    from repro.bench.iobench import IObench
     from repro.bench.report import PAPER_FIGURE_10, compare_to_paper, ratio_table
+    from repro.kernel import SystemConfig
     from repro.units import MB
 
     names = list(args.configs.upper())
+    scheduler = args.scheduler or None
+    tracing = bool(args.trace_jsonl)
     print(f"running IObench on configurations {', '.join(names)} "
           f"({args.file_mb} MB file; this simulates a few minutes of 1991)...")
-    results = {r.config: r.rates
-               for r in run_configs(names, file_size=args.file_mb * MB)}
+    results = {}
+    benches = []
+    for name in names:
+        config = SystemConfig.by_name(name)
+        if scheduler is not None:
+            config = dataclasses.replace(config, scheduler=scheduler)
+        bench = IObench(config, file_size=args.file_mb * MB,
+                        trace_phase="FSR" if tracing and not benches else None)
+        results[name] = bench.run().rates
+        benches.append(bench)
     print()
     print(compare_to_paper(results, PAPER_FIGURE_10, "Figure 10 (KB/s)"))
     if len(results) > 1 and "A" in results:
         print()
         print(ratio_table(results))
+    first = benches[0]
+    assert first.system is not None
+    report = first.system.requests.report()
+    print()
+    print(f"pipeline (config {names[0]}, "
+          f"scheduler={first.system.driver.scheduler_name}):")
+    for kind, summary in report["latency"].items():
+        print(f"  {kind:10s} n={summary['count']:<6.0f} "
+              f"mean={summary['mean'] * 1e3:8.3f}ms "
+              f"p95={summary['p95'] * 1e3:8.3f}ms "
+              f"p99={summary['p99'] * 1e3:8.3f}ms")
+    if tracing:
+        tracer = first.system.tracer
+        lines = tracer.export_jsonl(args.trace_jsonl)
+        print(f"\nwrote {lines} trace lines to {args.trace_jsonl}")
+        # Show the first traced read that actually went to the disk.
+        for root in tracer.span_roots():
+            if root.name == "read" and root.fields.get("ios"):
+                print("\none traced read, as a span tree:")
+                print(tracer.render_spans(root))
+                break
     return 0
 
 
@@ -150,6 +184,12 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--configs", default="AD",
                    help="which figure 9 configurations (default AD)")
     p.add_argument("--file-mb", type=int, default=16)
+    p.add_argument("--scheduler", default="",
+                   choices=["", "elevator", "fifo", "deadline"],
+                   help="override the disk scheduler for every config")
+    p.add_argument("--trace-jsonl", default="", metavar="PATH",
+                   help="trace the sequential-read phase of the first "
+                        "config; write records+spans as JSON lines to PATH")
     p.set_defaults(fn=_cmd_iobench)
 
     p = sub.add_parser("cpubench", help="figure 12 CPU comparison")

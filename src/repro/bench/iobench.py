@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.kernel.config import SystemConfig
 from repro.kernel.syscalls import Proc
@@ -37,6 +38,9 @@ class IObenchResult:
     config: str
     rates: dict[str, float] = field(default_factory=dict)
     cpu_util: dict[str, float] = field(default_factory=dict)
+    #: Request-pipeline report: scheduler name, driver queue-wait/service
+    #: histograms, queue-depth gauge, and per-kind request latencies.
+    pipeline: dict[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, phase: str) -> float:
         return self.rates[phase]
@@ -47,26 +51,51 @@ class IObench:
 
     def __init__(self, config: SystemConfig, file_size: int = 16 * MB,
                  record_size: int = 8 * KB, random_ops: int = 2048,
-                 seed: int = 1991, path: str = "/iobench.dat"):
+                 seed: int = 1991, path: str = "/iobench.dat",
+                 trace_phase: "str | None" = None):
         if file_size % record_size:
             raise ValueError("file size must be a multiple of the record size")
+        if trace_phase is not None and trace_phase not in PHASES:
+            raise ValueError(f"trace_phase must be one of {PHASES}")
         self.config = config
         self.file_size = file_size
         self.record_size = record_size
         self.random_ops = random_ops
         self.seed = seed
         self.path = path
+        #: Enable the tracer (spans + records) for exactly this phase, so
+        #: the trace stays bounded: one phase's span trees, not five.
+        self.trace_phase = trace_phase
         self.system: System | None = None
 
     # -- phases ---------------------------------------------------------------
     def _timed(self, system: System, gen, nbytes: int,
                result: IObenchResult, phase: str) -> None:
+        tracing = self.trace_phase == phase
+        if tracing:
+            system.tracer.enabled = True
         t0 = system.now
         cpu0 = system.cpu.system_time
         system.run(gen, name=f"iobench-{phase}")
         elapsed = system.now - t0
+        if tracing:
+            system.tracer.enabled = False
         result.rates[phase] = kb_per_sec(nbytes, elapsed)
         result.cpu_util[phase] = (system.cpu.system_time - cpu0) / elapsed
+
+    def _pipeline_report(self, system: System) -> dict[str, Any]:
+        """Per-layer pipeline stats for the whole run (all phases)."""
+        driver = system.driver
+        return {
+            "scheduler": driver.scheduler_name,
+            "queue_depth": {
+                "avg": driver.queue_depth.average(),
+                "max": driver.queue_depth.maximum,
+            },
+            "queue_wait": driver.wait_hist.summary(),
+            "service": driver.service_hist.summary(),
+            "requests": system.requests.report(),
+        }
 
     def _seq_write(self, proc: Proc, update: bool):
         record = bytes(self.record_size)
@@ -145,13 +174,25 @@ class IObench:
         # FRU: random updates.
         self._timed(system, self._random_ops(proc, write=True), nbytes,
                     result, "FRU")
+        result.pipeline = self._pipeline_report(system)
         return result
 
 
-def run_configs(names: "list[str]" = list("ABCD"), **kwargs) -> "list[IObenchResult]":
-    """Run IObench over several figure 9 configurations."""
+def run_configs(names: "list[str]" = list("ABCD"),
+                scheduler: "str | None" = None,
+                **kwargs) -> "list[IObenchResult]":
+    """Run IObench over several figure 9 configurations.
+
+    ``scheduler`` overrides each configuration's disk scheduler (elevator /
+    fifo / deadline); None keeps the configs' own choice.
+    """
+    import dataclasses
+
     results = []
     for name in names:
-        bench = IObench(SystemConfig.by_name(name), **kwargs)
+        config = SystemConfig.by_name(name)
+        if scheduler is not None:
+            config = dataclasses.replace(config, scheduler=scheduler)
+        bench = IObench(config, **kwargs)
         results.append(bench.run())
     return results

@@ -22,16 +22,25 @@ from repro.disk.buf import Buf, BufOp
 from repro.disk.disk import RotationalDisk, TrackBuffer
 from repro.disk.driver import DiskDriver, DiskQueue
 from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.sched import (
+    DeadlineScheduler, ElevatorScheduler, FifoScheduler, Scheduler,
+    make_scheduler,
+)
 from repro.disk.store import DiskStore
 
 __all__ = [
     "Buf",
     "BufOp",
+    "DeadlineScheduler",
     "DiskDriver",
     "DiskQueue",
     "DiskGeometry",
     "DiskStore",
+    "ElevatorScheduler",
+    "FifoScheduler",
     "RotationalDisk",
+    "Scheduler",
     "TrackBuffer",
     "Zone",
+    "make_scheduler",
 ]

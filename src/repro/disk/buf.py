@@ -39,7 +39,7 @@ class Buf:
     __slots__ = (
         "id", "op", "sector", "nsectors", "data", "async_", "ordered",
         "done", "iodone", "owner", "issued_at", "started_at", "finished_at",
-        "children", "error",
+        "children", "error", "request", "parent_span",
     )
 
     def __init__(self, engine: "Engine", op: BufOp, sector: int, nsectors: int,
@@ -67,6 +67,12 @@ class Buf:
         #: For coalesced (driver-clustered) parents: the original requests.
         self.children: list["Buf"] = []
         self.error: BaseException | None = None
+        #: The logical I/O request this transfer serves (None for internal
+        #: or coalesced-parent bufs); completion reports back to it.
+        self.request: "Any | None" = None
+        #: The span under which this buf was issued (for the request's
+        #: disk_io subtree); meaningful only while tracing.
+        self.parent_span: "Any | None" = None
 
     @property
     def end_sector(self) -> int:
@@ -97,6 +103,8 @@ class Buf:
         self.error = error
         for hook in self.iodone:
             hook(self)
+        if self.request is not None:
+            self.request.io_done(self)
         if error is None:
             self.done.succeed(self)
         else:

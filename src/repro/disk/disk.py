@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.disk.buf import Buf, BufOp
+from repro.disk.buf import Buf
 from repro.disk.geometry import DiskGeometry
 from repro.disk.store import DiskStore
 from repro.errors import PowerLossError

@@ -18,17 +18,17 @@ Two paper-relevant options:
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from typing import TYPE_CHECKING
 
 from repro.disk.buf import Buf, BufOp
 from repro.disk.disk import RotationalDisk
+from repro.disk.sched import Scheduler, make_scheduler
 from repro.errors import (
     DiskError, DiskTimeoutError, MediaError, TransientDiskError,
 )
 from repro.sim.events import Event
 from repro.sim.resources import Signal
-from repro.sim.stats import StatSet, TimeWeighted
+from repro.sim.stats import Histogram, StatSet, TimeWeighted
 from repro.units import KB, MS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,106 +36,108 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
 
 
-class _Sweep:
-    """One elevator sweep: bufs sorted by starting sector."""
-
-    __slots__ = ("bufs",)
-
-    def __init__(self) -> None:
-        self.bufs: list[Buf] = []
-
-    def insert_sorted(self, buf: Buf) -> None:
-        insort(self.bufs, buf, key=lambda b: b.sector)
-
-    def neighbours(self, buf: Buf) -> tuple[Buf | None, Buf | None]:
-        """Queued bufs immediately before/after ``buf``'s sector position."""
-        keys = [b.sector for b in self.bufs]
-        i = bisect_left(keys, buf.sector)
-        before = self.bufs[i - 1] if i > 0 else None
-        after = self.bufs[i] if i < len(self.bufs) else None
-        return before, after
-
-
 class DiskQueue:
-    """The driver queue: elevator sweeps separated by B_ORDER barriers.
+    """The driver queue: scheduler-ordered sweeps separated by barriers.
 
-    A pure one-way elevator starves a request parked behind the head while
-    a continuous forward stream (e.g. a big sequential write) keeps
-    arriving; ``max_passes`` bounds that, as real controllers do: a request
-    passed over that many times is served next regardless of position.
+    The queue owns the barrier structure (bufs with B_ORDER set may never be
+    reordered around); the order *within* a sweep is delegated to a pluggable
+    :class:`~repro.disk.sched.Scheduler` — the elevator (``disksort``) by
+    default, FIFO when ``use_disksort=False``, or any policy passed in.
     """
 
-    def __init__(self, use_disksort: bool = True, max_passes: int = 8):
-        self.use_disksort = use_disksort
+    def __init__(self, use_disksort: bool = True, max_passes: int = 8,
+                 scheduler: "Scheduler | str | None" = None):
+        if scheduler is None:
+            scheduler = "elevator" if use_disksort else "fifo"
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler, max_passes=max_passes)
+        self.scheduler = scheduler
         self.max_passes = max_passes
         self._segments: list[tuple[str, list[Buf]]] = []
         self._length = 0
-        self._passes: dict[int, int] = {}  # buf id -> times passed over
+
+    @property
+    def use_disksort(self) -> bool:
+        """True when the active scheduler keeps sweeps sector-sorted."""
+        return self.scheduler.sorts
+
+    @property
+    def _passes(self) -> dict[int, int]:
+        """The elevator's pass counters (empty for non-elevator policies)."""
+        return getattr(self.scheduler, "_passes", {})
 
     def __len__(self) -> int:
         return self._length
 
     def insert(self, buf: Buf) -> None:
-        """Add a request, respecting disksort order and barriers."""
+        """Add a request, respecting scheduler order and barriers."""
         self._length += 1
         if buf.ordered:
             self._segments.append(("barrier", [buf]))
             return
         if not self._segments or self._segments[-1][0] != "sweep":
             self._segments.append(("sweep", []))
-        seg = self._segments[-1][1]
-        if self.use_disksort:
-            insort(seg, buf, key=lambda b: b.sector)
-        else:
-            seg.append(buf)
+        self.scheduler.insert(self._segments[-1][1], buf)
 
-    def pop(self, last_sector: int) -> Buf | None:
-        """Next request in one-way elevator order (C-LOOK), or None."""
+    def pop(self, last_sector: int, now: float = 0.0) -> Buf | None:
+        """Next request per the active scheduler, or None.
+
+        ``now`` is the current simulated time, consumed by time-aware
+        policies (the deadline scheduler); the pure elevator ignores it.
+        """
         while self._segments and not self._segments[0][1]:
             self._segments.pop(0)
         if not self._segments:
             return None
         kind, seg = self._segments[0]
-        if kind == "barrier" or not self.use_disksort:
+        if kind == "barrier":
             buf = seg.pop(0)
         else:
-            starved = [
-                b for b in seg
-                if self._passes.get(b.id, 0) >= self.max_passes
-            ]
-            if starved:
-                buf = min(starved, key=lambda b: b.issued_at)
-                seg.remove(buf)
-            else:
-                keys = [b.sector for b in seg]
-                i = bisect_left(keys, last_sector)
-                if i == len(seg):
-                    i = 0  # wrap: next sweep starts at the lowest sector
-                buf = seg.pop(i)
-                # Everything behind the head was passed over this round.
-                for skipped in seg[:i]:
-                    self._passes[skipped.id] = self._passes.get(skipped.id, 0) + 1
+            buf = seg.pop(self.scheduler.select(seg, last_sector, now))
         self._length -= 1
-        self._passes.pop(buf.id, None)
+        self.scheduler.forget(buf)
         return buf
 
-    def peek_all(self) -> list[Buf]:
-        """All queued bufs (queue order), for tests and introspection."""
-        return [b for _, seg in self._segments for b in seg]
+    def peek_all(self, last_sector: int = 0, now: float = 0.0) -> list[Buf]:
+        """All queued bufs **in predicted service order**, without popping.
+
+        Contract: ``peek_all(s, t)`` returns exactly the sequence repeated
+        ``pop(...)`` calls would yield if the head were at ``s`` at time
+        ``t`` and no further requests arrived (each pop's ``last_sector``
+        advancing to the served buf's end).  The queue and the scheduler's
+        internal accounting (e.g. elevator pass counts) are left untouched.
+        """
+        state = self.scheduler.snapshot()
+        segments = [(kind, list(seg)) for kind, seg in self._segments]
+        order: list[Buf] = []
+        try:
+            while segments:
+                if not segments[0][1]:
+                    segments.pop(0)
+                    continue
+                kind, seg = segments[0]
+                if kind == "barrier":
+                    buf = seg.pop(0)
+                else:
+                    buf = seg.pop(self.scheduler.select(seg, last_sector, now))
+                self.scheduler.forget(buf)
+                order.append(buf)
+                last_sector = buf.end_sector
+        finally:
+            self.scheduler.restore(state)
+        return order
 
     def find_adjacent(self, buf: Buf, max_sectors: int) -> Buf | None:
         """A queued buf adjacent to ``buf`` that could be coalesced with it.
 
         Only the last (open) sweep is searched — merging across a barrier or
-        into an already-dispatched sweep would reorder requests.
+        into an already-dispatched sweep would reorder requests.  The scan is
+        linear because not every scheduler keeps the sweep sector-sorted.
         """
         if not self._segments or self._segments[-1][0] != "sweep":
             return None
-        sweep = _Sweep()
-        sweep.bufs = self._segments[-1][1]
-        before, after = sweep.neighbours(buf)
-        for cand in (before, after):
-            if cand is None or cand.op is not buf.op or cand.ordered:
+        for cand in self._segments[-1][1]:
+            if cand.op is not buf.op or cand.ordered:
                 continue
             if not cand.adjacent_to(buf):
                 continue
@@ -151,8 +153,8 @@ class DiskQueue:
                 seg.remove(buf)
                 self._length -= 1
                 # The buf leaves the queue without going through pop():
-                # drop its starvation counter or the entry leaks forever.
-                self._passes.pop(buf.id, None)
+                # drop its scheduler state or the entry leaks forever.
+                self.scheduler.forget(buf)
                 return
         raise ValueError("buf not in queue")
 
@@ -168,6 +170,7 @@ class DiskDriver:
                  max_retries: int = 4,
                  retry_backoff: float = 2 * MS,
                  remap_penalty: float = 5 * MS,
+                 scheduler: "Scheduler | str | None" = None,
                  name: str = "sd0"):
         self.engine = engine
         self.disk = disk
@@ -186,9 +189,13 @@ class DiskDriver:
         #: keeps its logical address; the table exists for introspection
         #: and mirrors a real drive's grown-defect list.
         self.remap_table: dict[int, int] = {}
-        self.queue = DiskQueue(use_disksort=use_disksort)
+        self.queue = DiskQueue(use_disksort=use_disksort, scheduler=scheduler)
         self.stats = StatSet(f"{name}.driver")
         self.queue_depth = TimeWeighted(engine, 0)
+        #: Per-request time from strategy() to entering service.
+        self.wait_hist = Histogram(f"{name}.queue_wait")
+        #: Per-request service time (seeks, rotation, transfer, recovery).
+        self.service_hist = Histogram(f"{name}.service")
         #: Bytes of buffered data sitting in the queue or in service —
         #: for writes, this is memory pinned by in-flight I/O.
         self.queue_bytes = TimeWeighted(engine, 0)
@@ -197,6 +204,11 @@ class DiskDriver:
         self._busy = False
         self._last_sector = 0
         engine.process(self._run(), name=f"{name}.driver")
+
+    @property
+    def scheduler_name(self) -> str:
+        """Name of the active queue scheduler (for reports)."""
+        return self.queue.scheduler.name
 
     # -- kernel-facing API ---------------------------------------------------
     def strategy(self, buf: Buf) -> Buf:
@@ -256,7 +268,7 @@ class DiskDriver:
     # -- service loop ----------------------------------------------------------
     def _run(self):
         while True:
-            buf = self.queue.pop(self._last_sector)
+            buf = self.queue.pop(self._last_sector, now=self.engine.now)
             if buf is None:
                 if self._drain_waiters:
                     waiters, self._drain_waiters = self._drain_waiters, []
@@ -266,7 +278,10 @@ class DiskDriver:
                 continue
             self._busy = True
             self.queue_depth.set(len(self.queue) + 1)
+            service_start = self.engine.now
+            self.wait_hist.observe(service_start - buf.issued_at)
             error = yield from self._service_with_recovery(buf)
+            self.service_hist.observe(self.engine.now - service_start)
             self._last_sector = buf.end_sector
             if self.cpu is not None:
                 intr = self.cpu.interrupt_charge("interrupt", self.cpu.costs.interrupt)

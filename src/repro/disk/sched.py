@@ -1,0 +1,186 @@
+"""Pluggable disk schedulers: the within-sweep service-order policy.
+
+The :class:`~repro.disk.driver.DiskQueue` owns the *structure* of the queue
+(elevator sweeps separated by B_ORDER barriers); a :class:`Scheduler`
+decides the *order* inside one sweep.  Three policies ship:
+
+``elevator`` (the default)
+    Classic ``disksort``: one-way C-LOOK by starting sector, with the
+    anti-starvation pass bound real controllers have — a request passed
+    over ``max_passes`` times is served next regardless of position.
+
+``fifo``
+    Arrival order, as with ``disksort`` compiled out.  Useful as the
+    baseline the paper's seek-ordering arguments are made against.
+
+``deadline``
+    Elevator order until a request has waited past its deadline, then
+    earliest-deadline-first.  Reads get a much shorter deadline than
+    writes, which bounds read latency behind the paper's 240 KB asynchronous
+    write bursts: a read parked behind a full write queue is promoted after
+    ``read_deadline`` seconds instead of riding out the whole sweep.
+
+Every scheduler moves the same bufs to the same sectors — only the order
+(and therefore seek time and per-request wait) changes, so on-disk bytes
+are identical across schedulers for any workload.
+
+Schedulers are deliberately stateful-per-queue (the elevator's pass counts
+live here); :meth:`Scheduler.snapshot`/:meth:`Scheduler.restore` let
+``DiskQueue.peek_all`` simulate service order without disturbing that
+state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Any
+
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.disk.buf import Buf
+
+
+class Scheduler:
+    """The within-sweep policy interface (base class = FIFO behaviour)."""
+
+    name = "base"
+    #: True when insert keeps the sweep sector-sorted (disksort semantics).
+    sorts = False
+
+    def insert(self, seg: "list[Buf]", buf: "Buf") -> None:
+        """Place ``buf`` into the (open) sweep ``seg``."""
+        seg.append(buf)
+
+    def select(self, seg: "list[Buf]", last_sector: int, now: float) -> int:
+        """Index of the buf to serve next from a non-empty sweep.
+
+        May mutate internal accounting (e.g. elevator pass counts) — that
+        is what :meth:`snapshot`/:meth:`restore` bracket for peeking.
+        """
+        return 0
+
+    def forget(self, buf: "Buf") -> None:
+        """Drop per-buf state once ``buf`` leaves the queue."""
+
+    def snapshot(self) -> Any:
+        """Opaque copy of mutable state, for simulation by ``peek_all``."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Undo mutations made since the matching :meth:`snapshot`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class FifoScheduler(Scheduler):
+    """Serve strictly in arrival order."""
+
+    name = "fifo"
+
+
+class ElevatorScheduler(Scheduler):
+    """One-way elevator (C-LOOK) with a starvation bound.
+
+    A pure one-way elevator starves a request parked behind the head while
+    a continuous forward stream (e.g. a big sequential write) keeps
+    arriving; ``max_passes`` bounds that: a request passed over that many
+    times is served next (oldest first), regardless of position.
+    """
+
+    name = "elevator"
+    sorts = True
+
+    def __init__(self, max_passes: int = 8):
+        self.max_passes = max_passes
+        self._passes: dict[int, int] = {}  # buf id -> times passed over
+
+    def insert(self, seg: "list[Buf]", buf: "Buf") -> None:
+        insort(seg, buf, key=lambda b: b.sector)
+
+    def select(self, seg: "list[Buf]", last_sector: int, now: float) -> int:
+        starved = [
+            i for i, b in enumerate(seg)
+            if self._passes.get(b.id, 0) >= self.max_passes
+        ]
+        if starved:
+            return min(starved, key=lambda i: seg[i].issued_at)
+        keys = [b.sector for b in seg]
+        i = bisect_left(keys, last_sector)
+        if i == len(seg):
+            i = 0  # wrap: next sweep starts at the lowest sector
+        # Everything behind the head was passed over this round.
+        for skipped in seg[:i]:
+            self._passes[skipped.id] = self._passes.get(skipped.id, 0) + 1
+        return i
+
+    def forget(self, buf: "Buf") -> None:
+        self._passes.pop(buf.id, None)
+
+    def snapshot(self) -> Any:
+        return dict(self._passes)
+
+    def restore(self, state: Any) -> None:
+        self._passes = state
+
+
+class DeadlineScheduler(ElevatorScheduler):
+    """Elevator order with per-request deadlines (reads before writes).
+
+    Each request's deadline is ``issued_at + read_deadline`` (reads) or
+    ``issued_at + write_deadline`` (writes).  While nothing is late the
+    policy is exactly the elevator; once requests are past deadline the
+    latest-suffering one (earliest deadline) is served first.  With the
+    paper's 240 KB write limit a full write burst takes a couple hundred
+    milliseconds to drain — ``read_deadline`` caps what a synchronous read
+    can be made to wait behind it.
+    """
+
+    name = "deadline"
+
+    def __init__(self, read_deadline: float = 60 * MS,
+                 write_deadline: float = 400 * MS, max_passes: int = 8):
+        super().__init__(max_passes=max_passes)
+        if read_deadline <= 0 or write_deadline <= 0:
+            raise ValueError("deadlines must be positive")
+        self.read_deadline = read_deadline
+        self.write_deadline = write_deadline
+
+    def deadline_of(self, buf: "Buf") -> float:
+        return buf.issued_at + (
+            self.read_deadline if buf.is_read else self.write_deadline
+        )
+
+    def select(self, seg: "list[Buf]", last_sector: int, now: float) -> int:
+        expired = [i for i, b in enumerate(seg) if self.deadline_of(b) <= now]
+        if expired:
+            return min(expired,
+                       key=lambda i: (self.deadline_of(seg[i]), seg[i].issued_at))
+        return super().select(seg, last_sector, now)
+
+
+SCHEDULERS = {
+    "elevator": ElevatorScheduler,
+    "fifo": FifoScheduler,
+    "deadline": DeadlineScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
+    """Build a scheduler by name (``elevator``, ``fifo``, ``deadline``).
+
+    Keyword arguments a given policy does not take are dropped, so callers
+    can pass e.g. ``max_passes`` uniformly.
+    """
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r} (have {sorted(SCHEDULERS)})"
+        ) from None
+    if cls is FifoScheduler:
+        kwargs = {}
+    elif cls is ElevatorScheduler:
+        kwargs = {k: v for k, v in kwargs.items() if k == "max_passes"}
+    return cls(**kwargs)

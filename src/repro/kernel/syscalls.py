@@ -102,6 +102,15 @@ class Proc:
         cpu = self.system.cpu
         yield from cpu.work("syscall", cpu.costs.syscall)
 
+    def _request(self, kind: str, **fields: Any):
+        """Open an :class:`~repro.sim.request.IORequest` for one syscall.
+
+        This is the top of the request pipeline: the returned context is
+        threaded down through the vnode layer so every disk transfer (and,
+        when tracing, every span) is attributed to this call.
+        """
+        return self.system.requests.start(kind, origin=self.name, **fields)
+
     # -- fd lifecycle --------------------------------------------------------
     @_syscall
     def open(self, path: str, create: bool = False) -> Generator[Any, Any, int]:
@@ -134,7 +143,13 @@ class Proc:
         """Read ``count`` bytes at the fd's offset (short at EOF)."""
         yield from self._charge_syscall()
         f = self._file(fd)
-        data = yield from f.vnode.rdwr(RW.READ, f.offset, count)
+        req = self._request("read", fd=fd, offset=f.offset, count=count)
+        try:
+            data = yield from f.vnode.rdwr(RW.READ, f.offset, count, req=req)
+        except BaseException as exc:
+            req.complete(error=exc)
+            raise
+        req.complete()
         assert isinstance(data, bytes)
         f.offset += len(data)
         return data
@@ -144,7 +159,13 @@ class Proc:
         """Write at the fd's offset; returns bytes written."""
         yield from self._charge_syscall()
         f = self._file(fd)
-        n = yield from f.vnode.rdwr(RW.WRITE, f.offset, data)
+        req = self._request("write", fd=fd, offset=f.offset, count=len(data))
+        try:
+            n = yield from f.vnode.rdwr(RW.WRITE, f.offset, data, req=req)
+        except BaseException as exc:
+            req.complete(error=exc)
+            raise
+        req.complete()
         assert isinstance(n, int)
         f.offset += n
         return n
@@ -179,7 +200,13 @@ class Proc:
     def fsync(self, fd: int) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         f = self._file(fd)
-        yield from f.vnode.fsync()
+        req = self._request("fsync", fd=fd)
+        try:
+            yield from f.vnode.fsync(req=req)
+        except BaseException as exc:
+            req.complete(error=exc)
+            raise
+        req.complete()
 
     def mmap(self, fd: int, length: int, offset: int = 0,
              writable: bool = False):
@@ -222,13 +249,19 @@ class Proc:
             raise InvalidArgumentError("mmap offset must be page aligned")
         length = min(length, f.vnode.size - offset)
         segment = self.addrspace.map(f.vnode, length, offset)
-        touched = 0
-        addr = segment.base
-        while addr < segment.end:
-            yield from self.addrspace.fault(addr, RW.READ)
-            touched += 1
-            addr += psize
-        yield from self.addrspace.unmap(segment)
+        req = self._request("mmap_read", fd=fd, offset=offset, count=length)
+        try:
+            touched = 0
+            addr = segment.base
+            while addr < segment.end:
+                yield from self.addrspace.fault(addr, RW.READ, req=req)
+                touched += 1
+                addr += psize
+            yield from self.addrspace.unmap(segment)
+        except BaseException as exc:
+            req.complete(error=exc)
+            raise
+        req.complete()
         return touched
 
     # -- namespace operations ------------------------------------------------------

@@ -10,6 +10,7 @@ from repro.disk.driver import DiskDriver
 from repro.disk.store import DiskStore
 from repro.kernel.config import SystemConfig
 from repro.sim.engine import Engine
+from repro.sim.request import RequestRegistry
 from repro.sim.trace import Tracer
 from repro.ufs.mkfs import mkfs
 from repro.ufs.mount import UfsMount
@@ -35,15 +36,22 @@ class System:
         self.engine = engine if engine is not None else Engine()
         self.cpu = Cpu(self.engine, cfg.costs)
         self.tracer = Tracer(self.engine)
+        #: One registry per machine: every syscall-level I/O request is
+        #: opened here, so benchmarks can report per-kind latencies.
+        self.requests = RequestRegistry(self.engine, self.tracer)
         self.store = store if store is not None else DiskStore(
             cfg.geometry.total_sectors, cfg.geometry.sector_size)
         self.fault_plan = fault_plan
         self.disk = RotationalDisk(self.engine, cfg.geometry, self.store,
                                    track_buffer=cfg.track_buffer,
                                    fault_plan=fault_plan)
+        sched = cfg.scheduler
+        if sched == "elevator" and not cfg.use_disksort:
+            sched = "fifo"  # legacy switch: disksort off = FIFO queue
         self.driver = DiskDriver(self.engine, self.disk, cpu=self.cpu,
                                  use_disksort=cfg.use_disksort,
-                                 coalesce=cfg.driver_coalesce)
+                                 coalesce=cfg.driver_coalesce,
+                                 scheduler=sched)
         reserved_pages = cfg.reserved_memory_bytes // cfg.page_size
         self.pagecache = PageCache(self.engine, cfg.memory_bytes,
                                    page_size=cfg.page_size,
@@ -51,6 +59,7 @@ class System:
         self.pageout = PageoutDaemon(
             self.engine, self.pagecache, self.cpu,
             PageoutParams.for_memory(self.pagecache.total_pages),
+            registry=self.requests,
         )
         self.mount: UfsMount | None = None
         self.raw_disk = RawDiskVnode(self.engine, self.driver, self.cpu)

@@ -155,6 +155,7 @@ class NfsMount(Vfs):
         return est
 
     def rpc(self, op: str, request_bytes: int = RPC_HEADER,
+            req: "Any | None" = None,
             **args: Any) -> Generator[Any, Any, Any]:
         """One remote procedure call, retransmitted until answered.
 
@@ -163,49 +164,60 @@ class NfsMount(Vfs):
         retransmission loop: send, arm the adaptive timer, race it against
         the xid's reply event.  Hard mounts loop forever; soft mounts raise
         :class:`RpcTimeoutError` after ``retrans`` transmissions.
+
+        ``req`` is the syscall-level I/O request, when the call is made on
+        behalf of one: each RPC shows up as an ``rpc`` span (op, xid, and
+        final transmission count) in the request's tree.
         """
         self.stats.incr("rpcs")
         self.stats.incr(f"rpc_{op.lower()}")
         yield from self.cpu.work("nfs_client", self.cpu.costs.syscall)
         xid = self._next_xid
         self._next_xid += 1
+        span = req.begin("rpc", op=op, xid=xid) if req is not None else None
         reply: Event = Event(self.engine, name=f"nfs-reply-xid{xid}")
         estimator = self._estimator(op)
         rto = estimator.rto()
         transmissions = 0
-        while True:
-            transmissions += 1
-            if transmissions > 1:
-                self.stats.incr("retransmits")
-            sent_at = self.engine.now
-            attempt = self.engine.process(
-                self._transmit(xid, op, request_bytes, args, reply),
-                name=f"rpc-{op.lower()}-x{xid}t{transmissions}")
-            attempt.add_callback(lambda _ev: None)
-            timer = self.engine.timeout(rto)
-            yield AnyOf(self.engine, [reply, timer])
-            if reply.triggered:
-                timer.cancel()
-                break
-            self.stats.incr("rpc_timeouts")
-            if self.soft and transmissions >= self.retrans:
-                self.stats.incr("major_timeouts")
-                self._last_transmissions = transmissions
-                raise RpcTimeoutError(
-                    f"NFS {op} xid={xid}: no reply after {transmissions} "
-                    f"transmissions (soft mount)")
-            # Bounded exponential backoff with seeded jitter.
-            rto = min(self.max_rto, rto * 2 * (1 + 0.1 * self._jitter.random()))
-        if transmissions == 1:
-            # Karn's rule: a retransmitted call's reply is ambiguous (it may
-            # answer either copy), so only clean calls feed the estimator.
-            estimator.observe(self.engine.now - sent_at)
-            self.stats.incr("rtt_samples")
-        self._last_transmissions = transmissions
-        status, payload = reply.value
-        if status == "err":
-            raise payload
-        return payload
+        try:
+            while True:
+                transmissions += 1
+                if transmissions > 1:
+                    self.stats.incr("retransmits")
+                sent_at = self.engine.now
+                attempt = self.engine.process(
+                    self._transmit(xid, op, request_bytes, args, reply),
+                    name=f"rpc-{op.lower()}-x{xid}t{transmissions}")
+                attempt.add_callback(lambda _ev: None)
+                timer = self.engine.timeout(rto)
+                yield AnyOf(self.engine, [reply, timer])
+                if reply.triggered:
+                    timer.cancel()
+                    break
+                self.stats.incr("rpc_timeouts")
+                if self.soft and transmissions >= self.retrans:
+                    self.stats.incr("major_timeouts")
+                    self._last_transmissions = transmissions
+                    raise RpcTimeoutError(
+                        f"NFS {op} xid={xid}: no reply after {transmissions} "
+                        f"transmissions (soft mount)")
+                # Bounded exponential backoff with seeded jitter.
+                rto = min(self.max_rto,
+                          rto * 2 * (1 + 0.1 * self._jitter.random()))
+            if transmissions == 1:
+                # Karn's rule: a retransmitted call's reply is ambiguous (it
+                # may answer either copy), so only clean calls feed the
+                # estimator.
+                estimator.observe(self.engine.now - sent_at)
+                self.stats.incr("rtt_samples")
+            self._last_transmissions = transmissions
+            status, payload = reply.value
+            if status == "err":
+                raise payload
+            return payload
+        finally:
+            if req is not None:
+                req.end(span, transmissions=transmissions)
 
     def _transmit(self, xid: int, op: str, request_bytes: int,
                   args: "dict[str, Any]", reply: Event
@@ -324,26 +336,28 @@ class NfsVnode(Vnode):
             raise exc
 
     # -- pages ------------------------------------------------------------------
-    def _grab_page(self, offset: int) -> Generator[Any, Any, "Page"]:
+    def _grab_page(self, offset: int,
+                   req: "Any | None" = None) -> Generator[Any, Any, "Page"]:
         pc = self.mount.pagecache
         while True:
             page = pc.allocate(self, offset)
             if page is not None:
                 return page
-            yield from pc.wait_for_memory()
+            yield from pc.wait_for_memory(req=req)
 
-    def _fetch_page(self, offset: int) -> Generator[Any, Any, "Page"]:
+    def _fetch_page(self, offset: int,
+                    req: "Any | None" = None) -> Generator[Any, Any, "Page"]:
         """READ one page from the server into the client cache."""
         pc = self.mount.pagecache
         page = pc.lookup(self, offset)
         if page is not None:
             if page.locked and not page.valid:
                 yield from page.wait_unlocked()
-                return (yield from self._fetch_page(offset))
+                return (yield from self._fetch_page(offset, req=req))
             if page.valid:
                 self.mount.stats.incr("cache_hits")
                 return page
-        page = yield from self._grab_page(offset)
+        page = yield from self._grab_page(offset, req=req)
         count = min(NFS_MAXDATA, max(0, self.remote_size - offset))
         try:
             if count == 0:
@@ -351,6 +365,7 @@ class NfsVnode(Vnode):
             else:
                 data = yield from self.mount.rpc(
                     "READ", handle=self.handle, offset=offset, count=count,
+                    req=req,
                 )
                 page.fill(data)
         except ReproError:
@@ -364,19 +379,21 @@ class NfsVnode(Vnode):
         self.mount.stats.incr("remote_reads")
         return page
 
-    def getpage(self, offset: int, rw: RW = RW.READ
-                ) -> Generator[Any, Any, "Page"]:
+    def getpage(self, offset: int, rw: RW = RW.READ,
+                req: "Any | None" = None) -> Generator[Any, Any, "Page"]:
         psize = self.mount.pagecache.page_size
         if offset % psize:
             raise InvalidArgumentError("offset not page aligned")
-        action = self.readahead.observe(offset, psize, cached=False,
-                                        readahead_enabled=False)
-        page = yield from self._fetch_page(offset)
+        # observe() updates the sequential-access state; this entry point
+        # never issues read-ahead itself, so the action is not consulted.
+        self.readahead.observe(offset, psize, cached=False,
+                               readahead_enabled=False)
+        page = yield from self._fetch_page(offset, req=req)
         page.referenced = True
         return page
 
-    def putpage(self, offset: int, length: int, flags: PutFlags
-                ) -> Generator[Any, Any, None]:
+    def putpage(self, offset: int, length: int, flags: PutFlags,
+                req: "Any | None" = None) -> Generator[Any, Any, None]:
         """Write dirty pages back over the wire (stable on the server)."""
         pc = self.mount.pagecache
         psize = pc.page_size
@@ -396,6 +413,7 @@ class NfsVnode(Vnode):
                 yield from self.mount.rpc(
                     "WRITE", request_bytes=RPC_HEADER + len(data),
                     handle=self.handle, offset=page.offset, data=data,
+                    req=req,
                 )
                 page.dirty = False  # stays dirty on failure, for retry
             finally:
@@ -403,13 +421,14 @@ class NfsVnode(Vnode):
             self.mount.stats.incr("remote_writes")
 
     # -- rdwr ----------------------------------------------------------------------
-    def rdwr(self, rw: RW, offset: int, payload: "bytes | int"
-             ) -> Generator[Any, Any, "bytes | int"]:
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int",
+             req: "Any | None" = None) -> Generator[Any, Any, "bytes | int"]:
         if rw is RW.READ:
-            return (yield from self._read(offset, int(payload)))
-        return (yield from self._write(offset, bytes(payload)))  # type: ignore[arg-type]
+            return (yield from self._read(offset, int(payload), req=req))
+        return (yield from self._write(offset, bytes(payload), req=req))  # type: ignore[arg-type]
 
-    def _read(self, offset: int, count: int) -> Generator[Any, Any, bytes]:
+    def _read(self, offset: int, count: int,
+              req: "Any | None" = None) -> Generator[Any, Any, bytes]:
         cpu = self.mount.cpu
         psize = self.mount.pagecache.page_size
         if offset >= self.remote_size:
@@ -433,7 +452,7 @@ class NfsVnode(Vnode):
                         proc = self.mount.engine.process(
                             self._fetch_ahead(next_off), name="biod-read")
                         proc.add_callback(lambda _ev: None)
-            page = yield from self._fetch_page(page_off)
+            page = yield from self._fetch_page(page_off, req=req)
             yield from cpu.copy("copyout", chunk)
             parts.append(bytes(page.data[offset - page_off:
                                          offset - page_off + chunk]))
@@ -450,9 +469,16 @@ class NfsVnode(Vnode):
         except ReproError:
             self.mount.stats.incr("readahead_errors_dropped")
 
-    def _write(self, offset: int, data: bytes) -> Generator[Any, Any, int]:
+    def _write(self, offset: int, data: bytes,
+               req: "Any | None" = None) -> Generator[Any, Any, int]:
         """Write-behind: pages go dirty locally, pushed with a bounded
-        number of bytes outstanding (the biod pool's depth)."""
+        number of bytes outstanding (the biod pool's depth).
+
+        The detached biod pushes do *not* carry ``req`` — they outlive the
+        syscall and would race on the request's span stack; only the
+        synchronous parts of the write (page fetches, throttle waits) are
+        attributed.
+        """
         self._raise_deferred()
         cpu = self.mount.cpu
         pc = self.mount.pagecache
@@ -467,12 +493,12 @@ class NfsVnode(Vnode):
                 if in_page == 0 and chunk >= min(
                         psize, max(self.remote_size, offset + len(data))
                         - page_off):
-                    page = yield from self._grab_page(page_off)
+                    page = yield from self._grab_page(page_off, req=req)
                     page.zero()
                     page.valid = True
                     page.unlock()
                 else:
-                    page = yield from self._fetch_page(page_off)
+                    page = yield from self._fetch_page(page_off, req=req)
             yield from page.lock_wait()
             yield from cpu.copy("copyin", chunk)
             page.data[in_page:in_page + chunk] = data[written:written + chunk]
@@ -488,7 +514,14 @@ class NfsVnode(Vnode):
                 self._push_one(page_off), name="biod-write",
             )
             proc_done.add_callback(lambda _ev: None)
-            yield from self.throttle.wait_ok()
+            span = None
+            if req is not None and self.throttle.value < 0:
+                span = req.begin("throttle_wait", over_by=-self.throttle.value)
+            try:
+                yield from self.throttle.wait_ok()
+            finally:
+                if req is not None:
+                    req.end(span)
         return written
 
     def _push_one(self, page_off: int) -> Generator[Any, Any, None]:
@@ -506,11 +539,12 @@ class NfsVnode(Vnode):
             # slot would wedge this file at the limit forever.
             self.throttle.credit(self.mount.pagecache.page_size)
 
-    def fsync(self) -> Generator[Any, Any, None]:
+    def fsync(self, req: "Any | None" = None) -> Generator[Any, Any, None]:
         self._raise_deferred()
         # Let in-flight write-behind drain first: their failures belong to
         # this fsync, and their pages may need the synchronous pass below.
         yield from self.throttle.drain()
         self._raise_deferred()
-        yield from self.putpage(0, max(self.remote_size, 1), PutFlags())
-        yield from self.mount.rpc("COMMIT", handle=self.handle)
+        yield from self.putpage(0, max(self.remote_size, 1), PutFlags(),
+                                req=req)
+        yield from self.mount.rpc("COMMIT", handle=self.handle, req=req)

@@ -159,18 +159,32 @@ class NfsServer:
 
     # -- dispatch -----------------------------------------------------------
     def call(self, op: str, **args: Any) -> Generator[Any, Any, RpcResult]:
-        """Run one RPC through the nfsd pool; returns the result."""
-        yield self._nfsds.acquire()
+        """Run one RPC through the nfsd pool; returns the result.
+
+        When the server mount's tracer is enabled, each executed call gets
+        an ``nfs_server`` span in the *server's* trace (the server is its
+        own machine, so its spans live in its own tree — the client side's
+        ``rpc`` span covers the wire and queueing from its vantage point).
+        """
+        trace = self.mount.trace
+        span = None
+        if trace.enabled:
+            span = trace.span_begin("nfs_server", op=op.lower())
         try:
-            yield from self.mount.cpu.work("nfsd", self.per_rpc_cpu)
-            handler = getattr(self, f"_op_{op.lower()}", None)
-            if handler is None:
-                raise ValueError(f"unknown NFS op {op!r}")
-            result = yield from handler(**args)
-            self.stats.incr(op.lower())
-            return result
+            yield self._nfsds.acquire()
+            try:
+                yield from self.mount.cpu.work("nfsd", self.per_rpc_cpu)
+                handler = getattr(self, f"_op_{op.lower()}", None)
+                if handler is None:
+                    raise ValueError(f"unknown NFS op {op!r}")
+                result = yield from handler(**args)
+                self.stats.incr(op.lower())
+                return result
+            finally:
+                self._nfsds.release()
         finally:
-            self._nfsds.release()
+            if span is not None:
+                trace.span_end(span)
 
     # -- handlers ---------------------------------------------------------------
     def _op_lookup(self, path: str) -> Generator[Any, Any, RpcResult]:

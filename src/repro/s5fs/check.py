@@ -12,12 +12,11 @@ import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import CorruptionError
 from repro.s5fs.ondisk import (
-    S5_DIRENT_SIZE, S5_NADDR, S5_NDIRECT, S5_ROOT_INO, S5Dinode, S5Superblock,
+    S5_NDIRECT, S5_ROOT_INO, S5Dinode, S5Superblock,
     iter_s5_dirents, unpack_free_chain_block,
 )
-from repro.ufs.ondisk import IFDIR, IFMT, IFREG
+from repro.ufs.ondisk import IFDIR, IFMT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.disk.store import DiskStore

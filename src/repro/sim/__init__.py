@@ -14,9 +14,10 @@ tie-break sequence number in the event heap.
 
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, EventFailed, Interrupt, Process, Timeout
+from repro.sim.request import IORequest, RequestRegistry
 from repro.sim.resources import Resource, Semaphore, Signal
-from repro.sim.stats import StatSet, TimeWeighted
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.stats import Histogram, StatSet, TimeWeighted
+from repro.sim.trace import Span, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -24,12 +25,16 @@ __all__ = [
     "Engine",
     "Event",
     "EventFailed",
+    "Histogram",
+    "IORequest",
     "Interrupt",
     "Process",
+    "RequestRegistry",
     "Resource",
     "Semaphore",
     "Signal",
     "SimulationError",
+    "Span",
     "StatSet",
     "TimeWeighted",
     "Timeout",

@@ -6,6 +6,7 @@ and accumulators; benchmarks read them to build the paper's tables.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import TYPE_CHECKING, Iterator
 
@@ -48,6 +49,72 @@ class StatSet:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v:g}" for k, v in self.as_dict().items())
         return f"<StatSet {self.name}: {inner}>"
+
+
+class Histogram:
+    """A log2-bucketed histogram for latencies and sizes.
+
+    Values land in power-of-two buckets ((2^(i-1), 2^i]); percentiles are
+    read back as the upper edge of the bucket holding the requested rank,
+    clamped to the observed maximum.  Memory is O(number of distinct
+    magnitudes), so a histogram can sit on the driver's hot path.
+    """
+
+    def __init__(self, name: str = "hist"):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self._zeros = 0
+        self._buckets: dict[int, int] = defaultdict(int)
+
+    def observe(self, value: float) -> None:
+        """Fold one sample in (negative values are clamped to zero)."""
+        value = max(0.0, value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        if value == 0.0:
+            self._zeros += 1
+        else:
+            self._buckets[math.ceil(math.log2(value))] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (p in [0, 100])."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        if rank <= self._zeros:
+            return 0.0
+        seen = self._zeros
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                upper = 2.0 ** idx
+                return min(upper, self.maximum if self.maximum is not None else upper)
+        return self.maximum if self.maximum is not None else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count / mean / min / max / p50 / p95 / p99 as a plain dict."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Histogram {self.name}: n={self.count} mean={self.mean:g} "
+                f"max={self.maximum}>")
 
 
 class TimeWeighted:

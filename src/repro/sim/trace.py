@@ -1,18 +1,39 @@
-"""Event tracing.
+"""Event tracing and hierarchical spans.
 
 The paper's figures 3, 6 and 7 are *traces*: the sequence of actions taken by
 ``ufs_getpage``/``ufs_putpage`` as pages are faulted in order.  We reproduce
 them by recording tagged trace records and rendering them as the same style
 of per-page box diagram.
+
+On top of the flat records the tracer also collects **spans**: timed,
+hierarchical intervals that let a completed I/O request show its whole
+lifecycle as one tree — syscall → getpage → cluster decision → queue wait →
+rotational service.  Spans carry a parent id, begin/end simulated times, and
+free-form fields; :meth:`Tracer.export_jsonl` writes both records and spans
+as JSON lines for offline analysis.
+
+Hot-path discipline: the keyword dict for ``emit``/``span_begin`` is built
+by the *caller* before the tracer can decline it, so instrumentation on hot
+paths must guard on :attr:`Tracer.enabled` first::
+
+    if trace.enabled:
+        trace.emit("getpage_sync", offset=offset, bytes=nbytes)
+
+With the guard (and the early returns inside the tracer itself) a disabled
+tracer costs one attribute check per site.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
+
+_span_ids = count(1)
 
 
 @dataclass(frozen=True)
@@ -35,34 +56,166 @@ class TraceRecord:
         return f"[{self.time * 1e3:10.3f}ms] {self.tag} {inner}"
 
 
+@dataclass
+class Span:
+    """One timed interval in a request's lifecycle.
+
+    ``parent_id`` links spans into a tree (None = a root, e.g. one syscall);
+    ``end`` stays None while the span is open.  All times are simulated
+    seconds.
+    """
+
+    id: int
+    name: str
+    parent_id: int | None
+    begin: float
+    end: float | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.begin
+
+    def describe(self) -> str:
+        """Human-readable one-liner (no tree context)."""
+        inner = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        dur = "open" if self.end is None else f"{self.duration * 1e3:.3f}ms"
+        return f"{self.name} [{self.begin * 1e3:.3f}ms +{dur}] {inner}".rstrip()
+
+
 class Tracer:
-    """Collects :class:`TraceRecord` objects, optionally filtered by tag.
+    """Collects :class:`TraceRecord` and :class:`Span` objects.
 
     Tracing is off by default (``enabled=False``) so the hot paths pay only
-    one attribute check.
+    one attribute check; see the module docstring for the call-site guard
+    that keeps even the kwargs construction off the disabled path.
     """
 
     def __init__(self, engine: "Engine", enabled: bool = False):
         self.engine = engine
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self.spans: list[Span] = []
         self._tag_filter: set[str] | None = None
 
     def limit_to(self, tags: Iterable[str] | None) -> None:
-        """Record only the given tags (None = record everything)."""
+        """Record only the given tags (None = record everything).
+
+        The filter applies to flat records only; spans are structural and
+        always recorded while enabled.
+        """
         self._tag_filter = set(tags) if tags is not None else None
 
     def emit(self, tag: str, **fields: Any) -> None:
-        """Record an occurrence at the current simulated time."""
+        """Record an occurrence at the current simulated time.
+
+        The ``enabled`` check is the very first statement so a disabled
+        tracer returns before touching the filter or building the record —
+        but note the kwargs dict itself is built by the caller; guard hot
+        call sites on :attr:`enabled` (module docstring).
+        """
         if not self.enabled:
             return
         if self._tag_filter is not None and tag not in self._tag_filter:
             return
         self.records.append(TraceRecord(self.engine.now, tag, fields))
 
+    # -- spans ---------------------------------------------------------------
+    def span_begin(self, name: str, parent: "Span | int | None" = None,
+                   **fields: Any) -> Span | None:
+        """Open a span at the current simulated time.
+
+        Returns None when tracing is disabled; :meth:`span_end` accepts the
+        None so callers need no branches of their own.
+        """
+        if not self.enabled:
+            return None
+        parent_id = parent.id if isinstance(parent, Span) else parent
+        span = Span(next(_span_ids), name, parent_id, self.engine.now,
+                    fields=fields)
+        self.spans.append(span)
+        return span
+
+    def span_end(self, span: Span | None, **fields: Any) -> None:
+        """Close a span at the current simulated time (no-op on None)."""
+        if span is None:
+            return
+        span.end = self.engine.now
+        if fields:
+            span.fields.update(fields)
+
+    def record_span(self, name: str, begin: float, end: float,
+                    parent: "Span | int | None" = None,
+                    **fields: Any) -> Span | None:
+        """Record an already-completed interval (e.g. from buf timestamps)."""
+        if not self.enabled:
+            return None
+        parent_id = parent.id if isinstance(parent, Span) else parent
+        span = Span(next(_span_ids), name, parent_id, begin, end, fields)
+        self.spans.append(span)
+        return span
+
+    def span_roots(self) -> list[Span]:
+        """Spans with no parent, in begin-time order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def span_children(self, parent: "Span | int") -> list[Span]:
+        """Direct children of ``parent``, in begin-time order."""
+        pid = parent.id if isinstance(parent, Span) else parent
+        return [s for s in self.spans if s.parent_id == pid]
+
+    def span_tree(self, root: "Span | int") -> list[tuple[int, Span]]:
+        """The subtree under ``root`` as (depth, span) pairs, preorder."""
+        root_span = (root if isinstance(root, Span)
+                     else next(s for s in self.spans if s.id == root))
+        out: list[tuple[int, Span]] = []
+
+        def visit(span: Span, depth: int) -> None:
+            out.append((depth, span))
+            for child in self.span_children(span):
+                visit(child, depth + 1)
+
+        visit(root_span, 0)
+        return out
+
+    def render_spans(self, root: "Span | int | None" = None) -> str:
+        """An indented text tree of spans (one root, or all roots)."""
+        roots = [root] if root is not None else self.span_roots()
+        lines: list[str] = []
+        for r in roots:
+            for depth, span in self.span_tree(r):
+                lines.append("  " * depth + span.describe())
+        return "\n".join(lines)
+
+    # -- export ---------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Records and spans as JSON lines (records first, begin-ordered)."""
+        lines = [
+            json.dumps({"type": "record", "time": r.time, "tag": r.tag,
+                        **r.fields}, default=str)
+            for r in self.records
+        ]
+        lines.extend(
+            json.dumps({"type": "span", "id": s.id, "parent": s.parent_id,
+                        "name": s.name, "begin": s.begin, "end": s.end,
+                        **s.fields}, default=str)
+            for s in sorted(self.spans, key=lambda s: (s.begin, s.id))
+        )
+        return "\n".join(lines)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the line count."""
+        text = self.to_jsonl()
+        with open(path, "w") as f:
+            if text:
+                f.write(text + "\n")
+        return 0 if not text else text.count("\n") + 1
+
     def clear(self) -> None:
-        """Drop all recorded history."""
+        """Drop all recorded history (records and spans)."""
         self.records.clear()
+        self.spans.clear()
 
     def select(self, *tags: str) -> list[TraceRecord]:
         """All records whose tag is one of ``tags``, in time order."""

@@ -226,7 +226,6 @@ def truncate_blocks(mount: "UfsMount", ip: "Inode") -> Generator[Any, Any, int]:
         mount.allocator.free_frags(ip, addr, nfrags)
         freed += nfrags
         ip.direct[lbn] = HOLE
-    n = nindir(sb.bsize)
     if ip.indirect != HOLE:
         freed += yield from _free_pointer_block(mount, ip, ip.indirect, depth=1)
         ip.indirect = HOLE

@@ -14,6 +14,13 @@ interrupt.
 ``ufs_rdwr`` maps each file block, faults it in via getpage, copies, and on
 unmap triggers delayed putpage (writes) or free-behind (large sequential
 reads under memory pressure).
+
+Every entry point accepts an optional :class:`~repro.sim.request.IORequest`
+(``req``), the context opened at the syscall boundary.  When present, each
+layer opens a child span (getpage → cluster_read → biowait, putpage →
+cluster_write → throttle_wait) and tags the bufs it issues, so a completed
+request renders as one tree from syscall to rotational service.  With
+``req=None`` (internal callers, tests) the only cost is a None check.
 """
 
 from __future__ import annotations
@@ -31,26 +38,32 @@ from repro.vfs.vnode import PutFlags, RW
 INLINE_DATA_MAX = 2048
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.ufs.inode import Inode
+    from repro.sim.request import IORequest
     from repro.ufs.vnode import UfsVnode
     from repro.vm.page import Page
 
 
-def _await_buf(buf: "Buf") -> Generator[Any, Any, None]:
+def _await_buf(buf: "Buf", req: "IORequest | None" = None
+               ) -> Generator[Any, Any, None]:
     """biowait: wait for a buf, unwrapping the engine's ``EventFailed``
     envelope so callers see the original :class:`DiskError`."""
+    span = req.begin("biowait", buf=buf.id) if req is not None else None
     try:
         yield buf.done
     except EventFailed as failure:
         cause = failure.args[0] if failure.args else failure
         raise cause from None
+    finally:
+        if req is not None:
+            req.end(span)
 
 
 # ---------------------------------------------------------------------------
 # getpage
 # ---------------------------------------------------------------------------
 
-def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ
+def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ,
+                req: "IORequest | None" = None
                 ) -> Generator[Any, Any, "Page"]:
     """Return the page at ``offset``, reading (a cluster) if necessary."""
     mount = vn.mount
@@ -59,87 +72,99 @@ def ufs_getpage(vn: "UfsVnode", offset: int, rw: RW = RW.READ
     cpu = mount.cpu
     psize = pc.page_size
     tuning = mount.tuning
+    trace = mount.trace
     if offset % psize:
         raise InvalidArgumentError(f"offset {offset} not page aligned")
+    span = req.begin("getpage", offset=offset) if req is not None else None
+    try:
+        # Find the page; if an I/O (read-ahead) is in flight, wait for it.
+        while True:
+            page = pc.lookup(vn, offset)
+            if page is not None and page.locked and not page.valid:
+                mount.stats.incr("getpage_io_waits")
+                yield from page.wait_unlocked()
+                continue
+            break
+        cached = page is not None and page.valid
 
-    # Find the page; if an I/O (read-ahead) is in flight, wait for it.
-    while True:
-        page = pc.lookup(vn, offset)
-        if page is not None and page.locked and not page.valid:
-            mount.stats.incr("getpage_io_waits")
-            yield from page.wait_unlocked()
-            continue
-        break
-    cached = page is not None and page.valid
+        yield from cpu.work("getpage", cpu.costs.getpage_hit)
+        action = ip.readahead.observe(offset, psize, cached)
+        want = ip.cluster_blocks if action.sequential else 1
+        # Degraded mode: repeated I/O errors on this file clamp reads to one
+        # block until successes re-grow the cluster (forward progress first).
+        want = ip.readahead.health.clamp(want, 1)
 
-    yield from cpu.work("getpage", cpu.costs.getpage_hit)
-    action = ip.readahead.observe(offset, psize, cached)
-    want = ip.cluster_blocks if action.sequential else 1
-    # Degraded mode: repeated I/O errors on this file clamp reads to one
-    # block until successes re-grow the cluster (forward progress first).
-    want = ip.readahead.health.clamp(want, 1)
-
-    # bmap() to find the disk location — called even when the page is in
-    # memory, because of holes (the UFS_HOLE discussion).  The future-work
-    # bypass skips it on a hit when di_blocks proves the file hole-free.
-    lbn = offset // mount.sb.bsize
-    if cached and tuning.hole_check_bypass and not ip.maybe_holes:
-        addr, contig = bmap.HOLE, 1  # unused on the cached path
-        mount.stats.incr("bmap_bypassed")
-    else:
-        addr, contig = yield from bmap.bmap_read(mount, ip, lbn, want)
-
-    if not cached:
-        yield from cpu.work("getpage", cpu.costs.getpage_miss)
-        if addr == bmap.HOLE or offset >= ip.size:
-            # A hole (or read past EOF via mmap): deliver zeros, no I/O.
-            page = yield from _grab_page(vn, offset)
-            page.zero()
-            page.valid = True
-            page.unlock()
-            mount.stats.incr("zero_fill")
+        # bmap() to find the disk location — called even when the page is in
+        # memory, because of holes (the UFS_HOLE discussion).  The future-work
+        # bypass skips it on a hit when di_blocks proves the file hole-free.
+        lbn = offset // mount.sb.bsize
+        if cached and tuning.hole_check_bypass and not ip.maybe_holes:
+            addr, contig = bmap.HOLE, 1  # unused on the cached path
+            mount.stats.incr("bmap_bypassed")
         else:
-            sync_blocks = contig if tuning.read_clustering else 1
-            sync_blocks = ip.readahead.health.clamp(sync_blocks, 1)
-            buf, sync_bytes = yield from _issue_read(
-                vn, offset, sync_blocks, async_=False,
-                translation=(addr, contig),
-            )
-            mount.trace.emit("getpage_sync", offset=offset, bytes=sync_bytes)
-            if action.ra_after_sync:
-                yield from _maybe_readahead(vn, offset + sync_bytes)
-            if buf is not None:
-                try:
-                    yield from _await_buf(buf)  # first page not cached: wait
-                except DiskError as error:
-                    mount.stats.incr("read_errors")
-                    mount.trace.emit("read_error", offset=offset,
-                                     code=error.code)
-                    if sync_bytes <= psize:
-                        raise
-                    # A cluster-sized read failed: before surfacing EIO,
-                    # retry just the faulted page (the health tracker has
-                    # already shrunk this file's future clusters).
-                    mount.stats.incr("degraded_reads")
-                    retry, _ = yield from _issue_read(vn, offset, 1,
-                                                      async_=False)
-                    if retry is None:
-                        raise
-                    yield from _await_buf(retry)
-    elif action.ra_offset is not None:
-        yield from _maybe_readahead(vn, action.ra_offset)
+            addr, contig = yield from bmap.bmap_read(mount, ip, lbn, want)
 
-    page = pc.lookup(vn, offset)
-    if page is None or not page.valid:
-        # The frame was stolen between iodone and now (extreme pressure):
-        # retry from the top.
-        mount.stats.incr("getpage_retries")
-        return (yield from ufs_getpage(vn, offset, rw))
-    page.referenced = True
-    return page
+        if not cached:
+            yield from cpu.work("getpage", cpu.costs.getpage_miss)
+            if addr == bmap.HOLE or offset >= ip.size:
+                # A hole (or read past EOF via mmap): deliver zeros, no I/O.
+                page = yield from _grab_page(vn, offset, req=req)
+                page.zero()
+                page.valid = True
+                page.unlock()
+                mount.stats.incr("zero_fill")
+            else:
+                sync_blocks = contig if tuning.read_clustering else 1
+                sync_blocks = ip.readahead.health.clamp(sync_blocks, 1)
+                buf, sync_bytes = yield from _issue_read(
+                    vn, offset, sync_blocks, async_=False,
+                    translation=(addr, contig), req=req,
+                )
+                if trace.enabled:
+                    trace.emit("getpage_sync", offset=offset, bytes=sync_bytes)
+                if action.ra_after_sync:
+                    yield from _maybe_readahead(vn, offset + sync_bytes,
+                                                req=req)
+                if buf is not None:
+                    try:
+                        # First page not cached: wait.
+                        yield from _await_buf(buf, req=req)
+                    except DiskError as error:
+                        mount.stats.incr("read_errors")
+                        if trace.enabled:
+                            trace.emit("read_error", offset=offset,
+                                       code=error.code)
+                        if sync_bytes <= psize:
+                            raise
+                        # A cluster-sized read failed: before surfacing EIO,
+                        # retry just the faulted page (the health tracker has
+                        # already shrunk this file's future clusters).
+                        mount.stats.incr("degraded_reads")
+                        retry, _ = yield from _issue_read(vn, offset, 1,
+                                                          async_=False,
+                                                          req=req)
+                        if retry is None:
+                            raise
+                        yield from _await_buf(retry, req=req)
+        elif action.ra_offset is not None:
+            yield from _maybe_readahead(vn, action.ra_offset, req=req)
+
+        page = pc.lookup(vn, offset)
+        if page is None or not page.valid:
+            # The frame was stolen between iodone and now (extreme pressure):
+            # retry from the top.
+            mount.stats.incr("getpage_retries")
+            return (yield from ufs_getpage(vn, offset, rw, req=req))
+        page.referenced = True
+        return page
+    finally:
+        if req is not None:
+            req.end(span)
 
 
-def _maybe_readahead(vn: "UfsVnode", ra_offset: int) -> Generator[Any, Any, None]:
+def _maybe_readahead(vn: "UfsVnode", ra_offset: int,
+                     req: "IORequest | None" = None
+                     ) -> Generator[Any, Any, None]:
     """Start an asynchronous cluster read at ``ra_offset`` if sensible."""
     mount = vn.mount
     ip = vn.inode
@@ -147,14 +172,17 @@ def _maybe_readahead(vn: "UfsVnode", ra_offset: int) -> Generator[Any, Any, None
         return
     want = ip.cluster_blocks if mount.tuning.read_clustering else 1
     want = ip.readahead.health.clamp(want, 1)
-    buf, nbytes = yield from _issue_read(vn, ra_offset, want, async_=True)
+    buf, nbytes = yield from _issue_read(vn, ra_offset, want, async_=True,
+                                         req=req)
     if nbytes > 0:
         ip.readahead.issued(ra_offset, nbytes)
         mount.stats.incr("readaheads")
-        mount.trace.emit("readahead", offset=ra_offset, bytes=nbytes)
+        if mount.trace.enabled:
+            mount.trace.emit("readahead", offset=ra_offset, bytes=nbytes)
 
 
-def _grab_page(vn: "UfsVnode", offset: int) -> Generator[Any, Any, "Page"]:
+def _grab_page(vn: "UfsVnode", offset: int, req: "IORequest | None" = None
+               ) -> Generator[Any, Any, "Page"]:
     """Allocate (locked) a page frame for <vn, offset>, waiting for memory."""
     mount = vn.mount
     pc = mount.pagecache
@@ -163,11 +191,49 @@ def _grab_page(vn: "UfsVnode", offset: int) -> Generator[Any, Any, "Page"]:
         if page is not None:
             yield from mount.cpu.work("page_alloc", mount.cpu.costs.page_alloc)
             return page
-        yield from pc.wait_for_memory()
+        yield from pc.wait_for_memory(req=req)
+
+
+class _ReadIodone:
+    """b_iodone for a cluster read: map the data in, or dissolve the frames.
+
+    A named object (not a closure) so a queued buf's completion behaviour is
+    inspectable and the request pipeline has one identifiable callback per
+    layer instead of anonymous plumbing.
+    """
+
+    __slots__ = ("pages", "psize", "pagecache", "health")
+
+    def __init__(self, pages: "list[Page]", psize: int, pagecache,
+                 health) -> None:
+        self.pages = pages
+        self.psize = psize
+        self.pagecache = pagecache
+        self.health = health
+
+    def __call__(self, done_buf: Buf) -> None:
+        if done_buf.error is not None:
+            # The read failed: there is nothing valid to map in.  Destroy
+            # the frames so a retry faults cleanly instead of finding a
+            # stale invalid page, and let the health tracker shrink this
+            # file's clusters.
+            for page in self.pages:
+                page.unlock()
+                self.pagecache.destroy(page)
+            self.health.record_failure()
+            return
+        assert done_buf.data is not None
+        for i, page in enumerate(self.pages):
+            page.fill(done_buf.data[i * self.psize:(i + 1) * self.psize])
+            page.valid = True
+            page.dirty = False
+            page.unlock()
+        self.health.record_success()
 
 
 def _issue_read(vn: "UfsVnode", offset: int, want_blocks: int, async_: bool,
                 translation: "tuple[int, int] | None" = None,
+                req: "IORequest | None" = None,
                 ) -> Generator[Any, Any, "tuple[Buf | None, int]"]:
     """Read up to ``want_blocks`` starting at ``offset`` as one request.
 
@@ -181,82 +247,74 @@ def _issue_read(vn: "UfsVnode", offset: int, want_blocks: int, async_: bool,
     pc = mount.pagecache
     sb = mount.sb
     psize = pc.page_size
-    lbn = offset // sb.bsize
-    if translation is not None:
-        addr, contig = translation
-    else:
-        addr, contig = yield from bmap.bmap_read(mount, ip, lbn,
-                                                 max(1, want_blocks))
-    if addr == bmap.HOLE:
-        return None, 0
-    blocks = min(contig, want_blocks)
-    last_lbn = (ip.size - 1) // sb.bsize
-    blocks = min(blocks, last_lbn - lbn + 1)
-    if blocks <= 0:
-        return None, 0
+    span = None
+    if req is not None:
+        span = req.begin("cluster_read", offset=offset, want=want_blocks,
+                         async_=async_)
+    try:
+        lbn = offset // sb.bsize
+        if translation is not None:
+            addr, contig = translation
+        else:
+            addr, contig = yield from bmap.bmap_read(mount, ip, lbn,
+                                                     max(1, want_blocks))
+        if addr == bmap.HOLE:
+            return None, 0
+        blocks = min(contig, want_blocks)
+        last_lbn = (ip.size - 1) // sb.bsize
+        blocks = min(blocks, last_lbn - lbn + 1)
+        if blocks <= 0:
+            return None, 0
 
-    # Collect consecutive uncached pages (stop at the first cached one).
-    pages: list["Page"] = []
-    for i in range(blocks):
-        page_off = offset + i * psize
-        if pc.lookup(vn, page_off) is not None:
-            break
-        page = yield from _grab_page(vn, page_off)
-        pages.append(page)
-    if not pages:
-        return None, 0
-    blocks = len(pages)
+        # Collect consecutive uncached pages (stop at the first cached one).
+        pages: list["Page"] = []
+        for i in range(blocks):
+            page_off = offset + i * psize
+            if pc.lookup(vn, page_off) is not None:
+                break
+            page = yield from _grab_page(vn, page_off, req=req)
+            pages.append(page)
+        if not pages:
+            return None, 0
+        blocks = len(pages)
 
-    # The tail block of a small file may be a fragment run.
-    nbytes = (blocks - 1) * sb.bsize + ip.blksize(lbn + blocks - 1)
-    nsectors = -(-nbytes // 512)
-    cpu = mount.cpu
-    if blocks > 1:
-        yield from cpu.work("cluster", blocks * cpu.costs.cluster_per_page)
-    yield from cpu.work("driver", cpu.costs.driver_strategy)
+        # The tail block of a small file may be a fragment run.
+        nbytes = (blocks - 1) * sb.bsize + ip.blksize(lbn + blocks - 1)
+        nsectors = -(-nbytes // 512)
+        cpu = mount.cpu
+        if blocks > 1:
+            yield from cpu.work("cluster", blocks * cpu.costs.cluster_per_page)
+        yield from cpu.work("driver", cpu.costs.driver_strategy)
 
-    buf = Buf(mount.engine, BufOp.READ, sb.fsb_to_sector(addr), nsectors,
-              async_=async_, owner=f"ufs-read-i{ip.ino}")
-    mount.stats.incr("read_ios")
-    mount.stats.incr("read_bytes", nbytes)
+        buf = Buf(mount.engine, BufOp.READ, sb.fsb_to_sector(addr), nsectors,
+                  async_=async_, owner=f"ufs-read-i{ip.ino}")
+        if req is not None:
+            buf.request = req
+            buf.parent_span = span if span is not None else req.current_span
+        mount.stats.incr("read_ios")
+        mount.stats.incr("read_bytes", nbytes)
 
-    health = ip.readahead.health
-
-    def iodone(done_buf: Buf, pages=pages, psize=psize) -> None:
-        if done_buf.error is not None:
-            # The read failed: there is nothing valid to map in.  Destroy
-            # the frames so a retry faults cleanly instead of finding a
-            # stale invalid page, and let the health tracker shrink this
-            # file's clusters.
-            for page in pages:
-                page.unlock()
-                pc.destroy(page)
-            health.record_failure()
-            return
-        assert done_buf.data is not None
-        for i, page in enumerate(pages):
-            page.fill(done_buf.data[i * psize:(i + 1) * psize])
-            page.valid = True
-            page.dirty = False
-            page.unlock()
-        health.record_success()
-
-    buf.iodone.append(iodone)
-    mount.driver.strategy(buf)
-    return buf, blocks * psize
+        buf.iodone.append(_ReadIodone(pages, psize, pc, ip.readahead.health))
+        mount.driver.strategy(buf)
+        return buf, blocks * psize
+    finally:
+        if req is not None:
+            req.end(span)
 
 
 # ---------------------------------------------------------------------------
 # putpage
 # ---------------------------------------------------------------------------
 
-def ufs_putpage(vn: "UfsVnode", offset: int, length: int, flags: PutFlags
+def ufs_putpage(vn: "UfsVnode", offset: int, length: int, flags: PutFlags,
+                req: "IORequest | None" = None
                 ) -> Generator[Any, Any, None]:
     """Write pages of [offset, offset+length) back, per ``flags``."""
     mount = vn.mount
     ip = vn.inode
     psize = mount.pagecache.page_size
     cpu = mount.cpu
+    trace = mount.trace
     yield from cpu.work("putpage", cpu.costs.putpage)
 
     if flags.delay:
@@ -265,26 +323,29 @@ def ufs_putpage(vn: "UfsVnode", offset: int, length: int, flags: PutFlags
         if mount.tuning.lazy_writeback:
             # Peacock-style: keep lying until the cache is flushed ("the
             # flush may cause a proportionally large I/O burst").
-            mount.trace.emit("write_delayed", offset=offset)
+            if trace.enabled:
+                trace.emit("write_delayed", offset=offset)
             return
         if mount.tuning.write_clustering:
             max_bytes = max(psize, ip.cluster_blocks * mount.sb.bsize)
             action = ip.writecluster.offer(offset, psize, max_bytes)
             if action.should_flush:
-                mount.trace.emit(
-                    "write_cluster_push",
-                    offset=action.flush_offset, bytes=action.flush_len,
-                    restarted=action.restarted,
-                )
+                if trace.enabled:
+                    trace.emit(
+                        "write_cluster_push",
+                        offset=action.flush_offset, bytes=action.flush_len,
+                        restarted=action.restarted,
+                    )
                 yield from _push_range(
                     vn, action.flush_offset, action.flush_len,
-                    async_=True, free=False,
+                    async_=True, free=False, req=req,
                 )
-            else:
-                mount.trace.emit("write_delayed", offset=offset)
+            elif trace.enabled:
+                trace.emit("write_delayed", offset=offset)
             return
         # Old system: start the I/O for this page right away.
-        yield from _push_range(vn, offset, psize, async_=True, free=False)
+        yield from _push_range(vn, offset, psize, async_=True, free=False,
+                               req=req)
         return
 
     # Non-delayed: dirty bits are ground truth; fold in any stolen range.
@@ -294,11 +355,13 @@ def ufs_putpage(vn: "UfsVnode", offset: int, length: int, flags: PutFlags
         offset = min(offset, start)
         length = end - offset
     yield from _push_range(vn, offset, length, async_=flags.async_,
-                           free=flags.free, invalidate=flags.invalidate)
+                           free=flags.free, invalidate=flags.invalidate,
+                           req=req)
 
 
 def _push_range(vn: "UfsVnode", offset: int, length: int, async_: bool,
-                free: bool, invalidate: bool = False
+                free: bool, invalidate: bool = False,
+                req: "IORequest | None" = None
                 ) -> Generator[Any, Any, None]:
     """Write out all dirty pages in [offset, offset+length), clustered by
     contiguity on disk (figure 8's while loop).
@@ -339,7 +402,7 @@ def _push_range(vn: "UfsVnode", offset: int, length: int, async_: bool,
             )
         cluster = run[:contig]
         buf, written = yield from _issue_write(vn, cluster, addr, async_,
-                                               free, invalidate)
+                                               free, invalidate, req=req)
         seen.update(p.frame for p in written)
         if buf is not None:
             if not async_:
@@ -349,19 +412,68 @@ def _push_range(vn: "UfsVnode", offset: int, length: int, async_: bool,
             # whoever holds them finishes, then rescan.
             seen.update(p.frame for p in cluster)
     errors: list[BaseException] = []
+    wait_span = None
+    if req is not None and waits:
+        wait_span = req.begin("biowait", bufs=len(waits))
     for done in waits:
         try:
             yield done
         except EventFailed as failure:
             errors.append(failure.args[0] if failure.args else failure)
+    if req is not None:
+        req.end(wait_span)
     if errors:
         # Drain every wait before surfacing the first error, so no buf is
         # left with an unconsumed failure.
         raise errors[0]
 
 
+class _WriteIodone:
+    """b_iodone for a cluster write: clean/free the pages, credit the
+    throttle.
+
+    Named, like :class:`_ReadIodone`, so the completion path is one
+    inspectable object per issued cluster rather than an anonymous closure.
+    The throttle credit runs from "interrupt context" (buf completion)
+    whether the write succeeded or not — charged bytes must never leak.
+    """
+
+    __slots__ = ("pages", "pagecache", "throttle", "charged", "health",
+                 "free", "invalidate")
+
+    def __init__(self, pages: "list[Page]", pagecache, throttle, charged: int,
+                 health, free: bool, invalidate: bool) -> None:
+        self.pages = pages
+        self.pagecache = pagecache
+        self.throttle = throttle
+        self.charged = charged
+        self.health = health
+        self.free = free
+        self.invalidate = invalidate
+
+    def __call__(self, done_buf: Buf) -> None:
+        if done_buf.error is not None:
+            # The write failed: the bytes exist only in memory.  Keep the
+            # pages dirty so later writebacks retry them, and shrink this
+            # file's clusters so the error is not amplified.
+            for page in self.pages:
+                page.unlock()
+            self.health.record_failure()
+        else:
+            for page in self.pages:
+                page.dirty = False
+                page.unlock()
+                if self.invalidate:
+                    self.pagecache.destroy(page)
+                elif self.free and not page.referenced and not page.free:
+                    self.pagecache.free(page)
+            self.health.record_success()
+        self.throttle.credit(self.charged)
+
+
 def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
-                 async_: bool, free: bool, invalidate: bool
+                 async_: bool, free: bool, invalidate: bool,
+                 req: "IORequest | None" = None
                  ) -> Generator[Any, Any, "tuple[Buf | None, list[Page]]"]:
     """Write one on-disk-contiguous cluster of dirty pages.
 
@@ -373,95 +485,92 @@ def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
     pc = mount.pagecache
     sb = mount.sb
     cpu = mount.cpu
-
-    # Lock the pages; drop any that got cleaned or claimed meanwhile, and
-    # keep only the still-consecutive prefix (the dropped tail stays dirty
-    # and is picked up by the caller's rescan).
-    run: list["Page"] = []
-    for page in cluster:
-        if page.locked:
-            yield from page.lock_wait()
-        else:
-            page.lock()
-        usable = page.dirty and page.valid and page.vnode is vn
-        consecutive = not run or page.offset == run[-1].offset + pc.page_size
-        if not usable or not consecutive:
-            page.unlock()
-            if not usable:
-                continue
-            break
-        run.append(page)
-    if not run:
-        return None, []
-    # If leading pages were dropped, shift the physical address to match
-    # (bmap guaranteed contiguity across the original cluster).
-    addr += (run[0].offset - cluster[0].offset) // sb.bsize * sb.frag
-    first_lbn = run[0].offset // sb.bsize
-    last_lbn = first_lbn + len(run) - 1
-    nbytes = (len(run) - 1) * sb.bsize + ip.blksize(last_lbn)
-    data = bytearray()
-    for idx, page in enumerate(run):
-        take = min(pc.page_size, nbytes - idx * pc.page_size)
-        data.extend(page.data[:take])
-    nsectors = -(-len(data) // 512)
-    data = bytes(data.ljust(nsectors * 512, b"\x00"))
-
-    # The write is charged now but the sleep happens after the request is
-    # queued — a single over-limit write must still reach the driver.
-    ip.throttle.take(len(data))
-    if len(run) > 1:
-        yield from cpu.work("cluster", len(run) * cpu.costs.cluster_per_page)
-    yield from cpu.work("driver", cpu.costs.driver_strategy)
-
-    buf = Buf(mount.engine, BufOp.WRITE, sb.fsb_to_sector(addr), nsectors,
-              data=data, async_=async_, owner=f"ufs-write-i{ip.ino}")
-    mount.stats.incr("write_ios")
-    mount.stats.incr("write_bytes", len(data))
-
-    throttle = ip.throttle
-    charged = len(data)
-    health = ip.writecluster.health
-
-    def iodone(done_buf: Buf, pages=run) -> None:
-        if done_buf.error is not None:
-            # The write failed: the bytes exist only in memory.  Keep the
-            # pages dirty so later writebacks retry them, and shrink this
-            # file's clusters so the error is not amplified.
-            for page in pages:
+    span = None
+    if req is not None:
+        span = req.begin("cluster_write", offset=cluster[0].offset,
+                         pages=len(cluster), async_=async_)
+    try:
+        # Lock the pages; drop any that got cleaned or claimed meanwhile, and
+        # keep only the still-consecutive prefix (the dropped tail stays dirty
+        # and is picked up by the caller's rescan).
+        run: list["Page"] = []
+        for page in cluster:
+            if page.locked:
+                yield from page.lock_wait()
+            else:
+                page.lock()
+            usable = page.dirty and page.valid and page.vnode is vn
+            consecutive = not run or page.offset == run[-1].offset + pc.page_size
+            if not usable or not consecutive:
                 page.unlock()
-            health.record_failure()
-        else:
-            for page in pages:
-                page.dirty = False
-                page.unlock()
-                if invalidate:
-                    pc.destroy(page)
-                elif free and not page.referenced and not page.free:
-                    pc.free(page)
-            health.record_success()
-        throttle.credit(charged)
+                if not usable:
+                    continue
+                break
+            run.append(page)
+        if not run:
+            return None, []
+        # If leading pages were dropped, shift the physical address to match
+        # (bmap guaranteed contiguity across the original cluster).
+        addr += (run[0].offset - cluster[0].offset) // sb.bsize * sb.frag
+        first_lbn = run[0].offset // sb.bsize
+        last_lbn = first_lbn + len(run) - 1
+        nbytes = (len(run) - 1) * sb.bsize + ip.blksize(last_lbn)
+        data = bytearray()
+        for idx, page in enumerate(run):
+            take = min(pc.page_size, nbytes - idx * pc.page_size)
+            data.extend(page.data[:take])
+        nsectors = -(-len(data) // 512)
+        data = bytes(data.ljust(nsectors * 512, b"\x00"))
 
-    buf.iodone.append(iodone)
-    mount.driver.strategy(buf)
-    yield from ip.throttle.wait_ok()
-    return buf, run
+        # The write is charged now but the sleep happens after the request is
+        # queued — a single over-limit write must still reach the driver.
+        ip.throttle.take(len(data))
+        if len(run) > 1:
+            yield from cpu.work("cluster", len(run) * cpu.costs.cluster_per_page)
+        yield from cpu.work("driver", cpu.costs.driver_strategy)
+
+        buf = Buf(mount.engine, BufOp.WRITE, sb.fsb_to_sector(addr), nsectors,
+                  data=data, async_=async_, owner=f"ufs-write-i{ip.ino}")
+        if req is not None:
+            buf.request = req
+            buf.parent_span = span if span is not None else req.current_span
+        mount.stats.incr("write_ios")
+        mount.stats.incr("write_bytes", len(data))
+
+        buf.iodone.append(_WriteIodone(run, pc, ip.throttle, len(data),
+                                       ip.writecluster.health, free,
+                                       invalidate))
+        mount.driver.strategy(buf)
+        throttle_span = None
+        if req is not None and ip.throttle.enabled and ip.throttle.value < 0:
+            throttle_span = req.begin("throttle_wait",
+                                      over_by=-ip.throttle.value)
+        yield from ip.throttle.wait_ok()
+        if req is not None:
+            req.end(throttle_span)
+        return buf, run
+    finally:
+        if req is not None:
+            req.end(span)
 
 
 # ---------------------------------------------------------------------------
 # rdwr
 # ---------------------------------------------------------------------------
 
-def ufs_rdwr(vn: "UfsVnode", rw: RW, offset: int, payload: "bytes | int"
+def ufs_rdwr(vn: "UfsVnode", rw: RW, offset: int, payload: "bytes | int",
+             req: "IORequest | None" = None
              ) -> Generator[Any, Any, "bytes | int"]:
     """The read/write entry point: map, fault, copy, unmap per block."""
     if offset < 0:
         raise InvalidArgumentError("negative file offset")
     if rw is RW.READ:
-        return (yield from _rdwr_read(vn, offset, int(payload)))
-    return (yield from _rdwr_write(vn, offset, bytes(payload)))  # type: ignore[arg-type]
+        return (yield from _rdwr_read(vn, offset, int(payload), req=req))
+    return (yield from _rdwr_write(vn, offset, bytes(payload), req=req))  # type: ignore[arg-type]
 
 
-def _rdwr_read(vn: "UfsVnode", offset: int, count: int
+def _rdwr_read(vn: "UfsVnode", offset: int, count: int,
+               req: "IORequest | None" = None
                ) -> Generator[Any, Any, bytes]:
     mount = vn.mount
     ip = vn.inode
@@ -496,7 +605,8 @@ def _rdwr_read(vn: "UfsVnode", offset: int, count: int
         pos = start
         while pos < end:
             want = (end - pos + mount.sb.bsize - 1) // mount.sb.bsize
-            buf, nbytes = yield from _issue_read(vn, pos, want, async_=True)
+            buf, nbytes = yield from _issue_read(vn, pos, want, async_=True,
+                                                 req=req)
             if nbytes == 0:
                 pos += psize  # cached or a hole: skip forward one page
             else:
@@ -511,7 +621,7 @@ def _rdwr_read(vn: "UfsVnode", offset: int, count: int
         yield from cpu.work("segmap", cpu.costs.segmap)
         yield from cpu.work("fault", cpu.costs.fault)
         try:
-            page = yield from ufs_getpage(vn, page_off, RW.READ)
+            page = yield from ufs_getpage(vn, page_off, RW.READ, req=req)
         except DiskError:
             if parts:
                 break  # partial read: return the bytes that arrived
@@ -539,7 +649,8 @@ def _rdwr_read(vn: "UfsVnode", offset: int, count: int
     return result
 
 
-def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
+def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes,
+                req: "IORequest | None" = None
                 ) -> Generator[Any, Any, int]:
     mount = vn.mount
     ip = vn.inode
@@ -565,7 +676,7 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
             if ip.size > 0:
                 old_last = (ip.size - 1) // sb.bsize
                 if lbn > old_last and old_last < len(ip.direct):
-                    yield from _expand_frag_tail(vn, old_last)
+                    yield from _expand_frag_tail(vn, old_last, req=req)
                 if lbn > old_last + 1:
                     ip.maybe_holes = True  # whole blocks skipped: a hole
             elif lbn > 0:
@@ -584,13 +695,14 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
                 if old_ptr == bmap.HOLE or (in_page == 0 and chunk >= min(
                         psize, new_size - page_off)):
                     # Nothing old to preserve: take a fresh zeroed page.
-                    page = yield from _grab_page(vn, page_off)
+                    page = yield from _grab_page(vn, page_off, req=req)
                     page.zero()
                     page.valid = True
                     page.unlock()
                 else:
                     yield from cpu.work("fault", cpu.costs.fault)
-                    page = yield from ufs_getpage(vn, page_off, RW.WRITE)
+                    page = yield from ufs_getpage(vn, page_off, RW.WRITE,
+                                                  req=req)
         except ReproError:
             # Partial-write semantics: if earlier chunks landed, report
             # them; the error resurfaces on the next write or fsync.
@@ -608,7 +720,8 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
             ip.size = new_size
             ip.mark_dirty()
         # Unmap: the delayed putpage is where write clustering happens.
-        yield from ufs_putpage(vn, page_off, psize, PutFlags(delay=True))
+        yield from ufs_putpage(vn, page_off, psize, PutFlags(delay=True),
+                               req=req)
         offset += chunk
         written += chunk
         remaining -= chunk
@@ -616,7 +729,9 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes
     return written
 
 
-def _expand_frag_tail(vn: "UfsVnode", tail_lbn: int) -> Generator[Any, Any, None]:
+def _expand_frag_tail(vn: "UfsVnode", tail_lbn: int,
+                      req: "IORequest | None" = None
+                      ) -> Generator[Any, Any, None]:
     """Grow the file's (old) tail block to a full block before the file
     extends past it.
 
@@ -633,10 +748,10 @@ def _expand_frag_tail(vn: "UfsVnode", tail_lbn: int) -> Generator[Any, Any, None
     old_frags = ip.blksize(tail_lbn) // sb.fsize
     if old_frags >= sb.frag:
         return  # already a full block
-    page = yield from ufs_getpage(vn, tail_lbn * sb.bsize, RW.READ)
+    page = yield from ufs_getpage(vn, tail_lbn * sb.bsize, RW.READ, req=req)
     yield from page.lock_wait()
     try:
-        new_addr = yield from bmap.bmap_alloc(mount, ip, tail_lbn, sb.frag)
+        yield from bmap.bmap_alloc(mount, ip, tail_lbn, sb.frag)
         page.dirty = True  # must be written out (possibly to a new address)
         page.referenced = True
     finally:

@@ -444,7 +444,7 @@ class UfsMount(Vfs):
         yield from bmap.truncate_blocks(self, ip)
         yield from self.write_inode(ip, sync=True)
 
-    # -- reporting ----------------------------------------------------------------------------------
+    # -- reporting ---------------------------------------------------------------
     def free_space(self) -> tuple[int, int]:
         """(free blocks, free fragments) from the superblock summary."""
         return self.sb.cs_nbfree, self.sb.cs_nffree

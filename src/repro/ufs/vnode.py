@@ -26,16 +26,17 @@ class UfsVnode(Vnode):
     def size(self) -> int:
         return self.inode.size
 
-    def rdwr(self, rw: RW, offset: int, payload: "bytes | int"
-             ) -> Generator[Any, Any, "bytes | int"]:
-        return (yield from io.ufs_rdwr(self, rw, offset, payload))
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int",
+             req: "Any | None" = None) -> Generator[Any, Any, "bytes | int"]:
+        return (yield from io.ufs_rdwr(self, rw, offset, payload, req=req))
 
-    def getpage(self, offset: int, rw: RW = RW.READ) -> Generator[Any, Any, "Page"]:
-        return (yield from io.ufs_getpage(self, offset, rw))
+    def getpage(self, offset: int, rw: RW = RW.READ,
+                req: "Any | None" = None) -> Generator[Any, Any, "Page"]:
+        return (yield from io.ufs_getpage(self, offset, rw, req=req))
 
-    def putpage(self, offset: int, length: int, flags: PutFlags
-                ) -> Generator[Any, Any, None]:
-        yield from io.ufs_putpage(self, offset, length, flags)
+    def putpage(self, offset: int, length: int, flags: PutFlags,
+                req: "Any | None" = None) -> Generator[Any, Any, None]:
+        yield from io.ufs_putpage(self, offset, length, flags, req=req)
 
     def allocate_backing(self, offset: int) -> Generator[Any, Any, None]:
         """Ensure the block at ``offset`` has backing store (the write-fault
@@ -54,10 +55,11 @@ class UfsVnode(Vnode):
                                    _frags_for(sb, lbn, ip.size))
         ip.inline_data = None  # a mapped store bypasses rdwr's invalidation
 
-    def fsync(self) -> Generator[Any, Any, None]:
+    def fsync(self, req: "Any | None" = None) -> Generator[Any, Any, None]:
         """Flush data pages, then the inode, synchronously."""
         if self.inode.size > 0:
-            yield from io.ufs_putpage(self, 0, self.inode.size, PutFlags())
+            yield from io.ufs_putpage(self, 0, self.inode.size, PutFlags(),
+                                      req=req)
         yield from self.mount.write_inode(self.inode, sync=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

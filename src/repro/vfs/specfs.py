@@ -50,7 +50,8 @@ class RawDiskVnode(Vnode):
         if offset + length > self.size:
             raise ValueError("raw I/O beyond end of device")
 
-    def rdwr(self, rw: RW, offset: int, payload: "bytes | int") -> Generator[Any, Any, bytes | int]:
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int",
+             req: Any | None = None) -> Generator[Any, Any, bytes | int]:
         """Synchronous raw read/write; "a direct interface plus a few
         permission checks"."""
         costs = self.cpu.costs
@@ -63,6 +64,9 @@ class RawDiskVnode(Vnode):
                 sector=offset // self.sector_size,
                 nsectors=payload // self.sector_size,
             )
+            if req is not None:
+                buf.request = req
+                buf.parent_span = req.current_span
             yield from self.cpu.work("driver", costs.driver_strategy)
             self.driver.strategy(buf)
             yield buf.done
@@ -78,15 +82,20 @@ class RawDiskVnode(Vnode):
             nsectors=len(data) // self.sector_size,
             data=data,
         )
+        if req is not None:
+            buf.request = req
+            buf.parent_span = req.current_span
         yield from self.cpu.work("driver", costs.driver_strategy)
         self.driver.strategy(buf)
         yield buf.done
         return len(data)
 
-    def getpage(self, offset: int, rw: RW = RW.READ) -> Generator[Any, Any, "Page"]:
+    def getpage(self, offset: int, rw: RW = RW.READ,
+                req: Any | None = None) -> Generator[Any, Any, "Page"]:
         raise NotImplementedError("raw disk is not pageable")
         yield  # pragma: no cover
 
-    def putpage(self, offset: int, length: int, flags: PutFlags) -> Generator[Any, Any, None]:
+    def putpage(self, offset: int, length: int, flags: PutFlags,
+                req: Any | None = None) -> Generator[Any, Any, None]:
         raise NotImplementedError("raw disk is not pageable")
         yield  # pragma: no cover

@@ -18,7 +18,6 @@ from itertools import count
 from typing import TYPE_CHECKING, Any, Generator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Engine
     from repro.vm.page import Page
 
 _vnode_ids = count(1)
@@ -79,25 +78,33 @@ class Vnode(ABC):
         """Current file size in bytes."""
 
     @abstractmethod
-    def rdwr(self, rw: RW, offset: int, payload: "bytes | int") -> Generator[Any, Any, bytes | int]:
+    def rdwr(self, rw: RW, offset: int, payload: "bytes | int",
+             req: Any | None = None) -> Generator[Any, Any, bytes | int]:
         """Read or write at ``offset``.
 
         For ``RW.READ``, ``payload`` is a byte count; returns the bytes read
         (may be short at EOF).  For ``RW.WRITE``, ``payload`` is the data;
         returns the byte count written.
+
+        ``req`` is the optional :class:`~repro.sim.request.IORequest`
+        context the caller opened at the syscall boundary; implementations
+        thread it down so disk transfers are attributed to the request.
+        Every operation below accepts the same optional ``req``.
         """
 
     @abstractmethod
-    def getpage(self, offset: int, rw: RW = RW.READ) -> Generator[Any, Any, "Page"]:
+    def getpage(self, offset: int, rw: RW = RW.READ,
+                req: Any | None = None) -> Generator[Any, Any, "Page"]:
         """Return the page at ``offset``, reading it in if necessary."""
 
     @abstractmethod
-    def putpage(self, offset: int, length: int, flags: PutFlags) -> Generator[Any, Any, None]:
+    def putpage(self, offset: int, length: int, flags: PutFlags,
+                req: Any | None = None) -> Generator[Any, Any, None]:
         """Write pages in ``[offset, offset+length)`` back to storage."""
 
-    def fsync(self) -> Generator[Any, Any, None]:
+    def fsync(self, req: Any | None = None) -> Generator[Any, Any, None]:
         """Flush all dirty pages synchronously (default: via putpage)."""
-        yield from self.putpage(0, max(self.size, 0), PutFlags())
+        yield from self.putpage(0, max(self.size, 0), PutFlags(), req=req)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} v{self.vnode_id} {self.vtype.value}>"

@@ -98,10 +98,11 @@ class AddressSpace:
             yield from self.msync(segment)
         self.segments.remove(segment)
 
-    def msync(self, segment: Segment) -> Generator[Any, Any, None]:
+    def msync(self, segment: Segment,
+              req: "Any | None" = None) -> Generator[Any, Any, None]:
         """Write the segment's dirty pages back synchronously."""
         yield from segment.vnode.putpage(
-            segment.vnode_offset, segment.length, PutFlags()
+            segment.vnode_offset, segment.length, PutFlags(), req=req
         )
 
     def find(self, addr: int) -> Segment:
@@ -111,7 +112,8 @@ class AddressSpace:
         raise SegmentationFault(f"address {addr:#x} not mapped")
 
     # -- the fault path -----------------------------------------------------------
-    def fault(self, addr: int, rw: RW) -> Generator[Any, Any, "Page"]:
+    def fault(self, addr: int, rw: RW,
+              req: "Any | None" = None) -> Generator[Any, Any, "Page"]:
         """Resolve one fault: find the segment, call the file system."""
         segment = self.find(addr)
         if rw is RW.WRITE and not segment.writable:
@@ -121,7 +123,7 @@ class AddressSpace:
         segment.faults += 1
         yield from self.cpu.work("fault", self.cpu.costs.fault)
         offset = segment.vnode_offset_of(addr, self.page_size)
-        page = yield from segment.vnode.getpage(offset, rw)
+        page = yield from segment.vnode.getpage(offset, rw, req=req)
         if rw is RW.WRITE:
             # The UFS_HOLE rule: a page without backing store is read-only;
             # the write fault is the file system's chance to allocate.
@@ -133,7 +135,8 @@ class AddressSpace:
         return page
 
     # -- simulated loads and stores --------------------------------------------------
-    def read(self, addr: int, count: int) -> Generator[Any, Any, bytes]:
+    def read(self, addr: int, count: int,
+             req: "Any | None" = None) -> Generator[Any, Any, bytes]:
         """A load of ``count`` bytes (faulting pages in as needed)."""
         if count <= 0:
             raise InvalidArgumentError("count must be positive")
@@ -141,7 +144,7 @@ class AddressSpace:
         remaining = count
         while remaining > 0:
             segment = self.find(addr)
-            page = yield from self.fault(addr, RW.READ)
+            page = yield from self.fault(addr, RW.READ, req=req)
             offset = segment.vnode_offset_of(addr, self.page_size)
             in_page = (segment.vnode_offset + (addr - segment.base)) - offset
             take = min(self.page_size - in_page, remaining,
@@ -152,14 +155,15 @@ class AddressSpace:
             remaining -= take
         return b"".join(parts)
 
-    def write(self, addr: int, data: bytes) -> Generator[Any, Any, int]:
+    def write(self, addr: int, data: bytes,
+              req: "Any | None" = None) -> Generator[Any, Any, int]:
         """A store of ``data`` (write-faulting pages as needed)."""
         if not data:
             return 0
         written = 0
         while written < len(data):
             segment = self.find(addr)
-            page = yield from self.fault(addr, RW.WRITE)
+            page = yield from self.fault(addr, RW.WRITE, req=req)
             offset = segment.vnode_offset_of(addr, self.page_size)
             in_page = (segment.vnode_offset + (addr - segment.base)) - offset
             take = min(self.page_size - in_page, len(data) - written,

@@ -16,8 +16,8 @@ Allocation discipline (mirrors SunOS):
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
-from typing import TYPE_CHECKING, Any, Callable, Generator
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Generator
 
 from repro.sim.events import Event
 from repro.sim.resources import Signal
@@ -124,11 +124,19 @@ class PageCache:
             self.low_memory.fire()
         return page
 
-    def wait_for_memory(self) -> Generator[Event, Any, None]:
-        """Block until a frame is freed; pokes the low-memory signal."""
+    def wait_for_memory(self, req: "Any | None" = None
+                        ) -> Generator[Event, Any, None]:
+        """Block until a frame is freed; pokes the low-memory signal.
+
+        ``req`` is the optional I/O request on whose behalf we are waiting;
+        when tracing, the stall shows up as a ``mem_wait`` span in its tree.
+        """
         self.stats.incr("memory_waits")
+        span = req.begin("mem_wait", freemem=self.freemem) if req is not None else None
         self.low_memory.fire()
         yield self.memory_wanted.wait()
+        if req is not None:
+            req.end(span)
 
     # -- freeing ----------------------------------------------------------------------
     def free(self, page: Page, front: bool = False) -> None:

@@ -55,10 +55,15 @@ class PageoutDaemon:
     """The two-handed clock over all page frames."""
 
     def __init__(self, engine: "Engine", cache: "PageCache", cpu: "Cpu",
-                 params: PageoutParams | None = None):
+                 params: PageoutParams | None = None,
+                 registry: "Any | None" = None):
         self.engine = engine
         self.cache = cache
         self.cpu = cpu
+        #: Optional RequestRegistry: each dirty-page push the daemon starts
+        #: is accounted as a "pageout" request (the kernel's own I/O shows
+        #: up in the same per-kind latency report as user syscalls).
+        self.registry = registry
         self.params = params if params is not None else PageoutParams.for_memory(
             cache.total_pages
         )
@@ -123,10 +128,24 @@ class PageoutDaemon:
             if back.dirty:
                 progress = True
                 self.stats.incr("pushed_dirty")
-                yield from back.vnode.putpage(
-                    back.offset, cache.page_size,
-                    PutFlags(async_=True, free=True),
-                )
+                flags = PutFlags(async_=True, free=True)
+                if self.registry is None:
+                    # No registry (unit-test daemons over bare fakes): plain
+                    # call, no request accounting.
+                    yield from back.vnode.putpage(
+                        back.offset, cache.page_size, flags
+                    )
+                else:
+                    req = self.registry.start("pageout", origin="pagedaemon",
+                                              offset=back.offset)
+                    try:
+                        yield from back.vnode.putpage(
+                            back.offset, cache.page_size, flags, req=req
+                        )
+                    except BaseException as exc:
+                        req.complete(error=exc)
+                        raise
+                    req.complete()
             else:
                 progress = True
                 self.stats.incr("freed")

@@ -1,10 +1,7 @@
 """Tests for the elevator anti-starvation bound and queue-bytes tracking."""
 
-import pytest
-
 from repro.disk import Buf, BufOp, DiskDriver, DiskGeometry, DiskQueue, RotationalDisk
 from repro.sim import Engine
-from repro.units import KB
 
 
 def wbuf(engine, sector, nsectors=2):

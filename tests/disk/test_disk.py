@@ -4,7 +4,7 @@ import pytest
 
 from repro.disk import Buf, BufOp, DiskGeometry, RotationalDisk
 from repro.sim import Engine
-from repro.units import MB, MS
+from repro.units import MB
 
 
 def make_disk(engine, track_buffer=True, **kwargs):

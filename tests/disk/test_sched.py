@@ -1,0 +1,151 @@
+"""Tests for the pluggable disk schedulers and their DiskQueue contract."""
+
+import pytest
+
+from repro.disk import (
+    Buf, BufOp, DeadlineScheduler, DiskQueue, ElevatorScheduler,
+    FifoScheduler, make_scheduler,
+)
+from repro.sim import Engine
+from repro.units import MS
+
+
+def rbuf(engine, sector, nsectors=2, issued_at=0.0, **kw):
+    buf = Buf(engine, BufOp.READ, sector, nsectors, **kw)
+    buf.issued_at = issued_at
+    return buf
+
+
+def wbuf(engine, sector, nsectors=2, issued_at=0.0):
+    buf = Buf(engine, BufOp.WRITE, sector, nsectors,
+              data=bytes(nsectors * 512))
+    buf.issued_at = issued_at
+    return buf
+
+
+def drain(queue, last_sector=0, now=0.0):
+    """Pop everything, advancing the head like the driver does."""
+    order = []
+    while True:
+        buf = queue.pop(last_sector, now=now)
+        if buf is None:
+            return order
+        order.append(buf)
+        last_sector = buf.end_sector
+
+
+def test_make_scheduler_by_name():
+    assert isinstance(make_scheduler("elevator"), ElevatorScheduler)
+    assert isinstance(make_scheduler("fifo"), FifoScheduler)
+    assert isinstance(make_scheduler("deadline"), DeadlineScheduler)
+    assert make_scheduler("elevator", max_passes=3).max_passes == 3
+    # Unknown kwargs are dropped per-policy, not an error.
+    assert isinstance(make_scheduler("fifo", max_passes=3), FifoScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("cfq")
+
+
+def test_deadline_validates_deadlines():
+    with pytest.raises(ValueError):
+        DeadlineScheduler(read_deadline=0)
+
+
+def test_same_bufs_different_orders():
+    """The point of the interface: identical queue, policy-specific order."""
+    eng = Engine()
+    sectors = [40, 10, 30, 20]
+    orders = {}
+    for name in ("elevator", "fifo", "deadline"):
+        queue = DiskQueue(scheduler=name)
+        for i, sector in enumerate(sectors):
+            queue.insert(rbuf(eng, sector, issued_at=float(i)))
+        orders[name] = [b.sector for b in drain(queue, last_sector=0)]
+    assert orders["fifo"] == [40, 10, 30, 20]
+    assert orders["elevator"] == [10, 20, 30, 40]
+    assert orders["deadline"] == [10, 20, 30, 40]  # nothing late: elevator
+
+
+def test_elevator_one_way_sweep_with_wrap():
+    eng = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    for sector in (10, 50, 30):
+        queue.insert(rbuf(eng, sector))
+    # Head at 25: serve 30, 50 on the way up, then wrap to 10.
+    assert [b.sector for b in drain(queue, last_sector=25)] == [30, 50, 10]
+
+
+def test_deadline_promotes_expired_read():
+    eng = Engine()
+    sched = DeadlineScheduler(read_deadline=60 * MS, write_deadline=400 * MS)
+    queue = DiskQueue(scheduler=sched)
+    # A read parked at a low sector behind a stream of forward writes.
+    starving = rbuf(eng, 5, issued_at=0.0)
+    queue.insert(starving)
+    for i, sector in enumerate((100, 200, 300)):
+        queue.insert(wbuf(eng, sector, issued_at=0.01 * i))
+    # Before its deadline the elevator order wins (head at 90 goes up).
+    assert queue.peek_all(last_sector=90, now=0.050)[0].sector == 100
+    # Past the read deadline the read is served first despite its position.
+    assert queue.pop(90, now=0.100) is starving
+
+
+def test_deadline_expired_writes_by_earliest_deadline():
+    eng = Engine()
+    sched = DeadlineScheduler(read_deadline=60 * MS, write_deadline=400 * MS)
+    queue = DiskQueue(scheduler=sched)
+    first = wbuf(eng, 300, issued_at=0.0)
+    second = wbuf(eng, 100, issued_at=0.1)
+    queue.insert(first)
+    queue.insert(second)
+    # Both expired: earliest deadline (oldest write) wins, not sector order.
+    assert queue.pop(0, now=1.0) is first
+
+
+def test_peek_all_matches_pop_sequence_for_every_scheduler():
+    eng = Engine()
+    for name in ("elevator", "fifo", "deadline"):
+        queue = DiskQueue(scheduler=name)
+        for i, sector in enumerate((40, 10, 999, 30, 20)):
+            buf = rbuf(eng, sector, issued_at=float(i))
+            if sector == 999:
+                buf.ordered = True  # a barrier in the middle
+            queue.insert(buf)
+        predicted = queue.peek_all(last_sector=15, now=0.0)
+        assert len(queue) == 5  # peeking does not consume
+        popped = drain(queue, last_sector=15)
+        assert predicted == popped, name
+
+
+def test_peek_all_leaves_elevator_pass_counts_alone():
+    eng = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    queue.insert(rbuf(eng, 10))
+    queue.insert(rbuf(eng, 30))
+    queue.pop(20)  # head at 20 passes over sector 10, bumping its count
+    before = dict(queue._passes)
+    assert before  # the pass really was counted
+    queue.peek_all(last_sector=20)
+    assert queue._passes == before
+
+
+def test_fifo_queue_via_use_disksort_false():
+    eng = Engine()
+    queue = DiskQueue(use_disksort=False)
+    assert queue.scheduler.name == "fifo"
+    assert not queue.use_disksort
+    for sector in (40, 10, 30):
+        queue.insert(rbuf(eng, sector))
+    assert [b.sector for b in drain(queue)] == [40, 10, 30]
+
+
+def test_remove_forgets_scheduler_state():
+    eng = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    parked = rbuf(eng, 10)
+    queue.insert(parked)
+    queue.insert(rbuf(eng, 30))
+    queue.pop(20)  # bump parked's pass count
+    assert queue._passes
+    queue.remove(parked)
+    assert not queue._passes
+    assert len(queue) == 0

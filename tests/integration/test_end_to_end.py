@@ -1,7 +1,5 @@
 """Cross-layer integration: concurrency, pressure, persistence, recovery."""
 
-import pytest
-
 from repro.disk import DiskGeometry
 from repro.kernel import Proc, System, SystemConfig
 from repro.ufs import fsck

@@ -5,7 +5,7 @@ import pytest
 from repro.disk import DiskGeometry
 from repro.errors import BadFileError, FileNotFoundError_, InvalidArgumentError
 from repro.kernel import Proc, SEEK_CUR, SEEK_END, SEEK_SET, System, SystemConfig
-from repro.units import KB, MB
+from repro.units import KB
 
 
 @pytest.fixture

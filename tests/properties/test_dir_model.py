@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 from repro.disk import DiskGeometry
 from repro.kernel import System, SystemConfig
 from repro.ufs import dir as dirops
-from repro.ufs import fsck
 
 names = st.text(
     alphabet=st.characters(min_codepoint=97, max_codepoint=122),
@@ -37,8 +36,6 @@ def test_directory_matches_dict(ops):
     next_ino = [10]
 
     def apply_all():
-        from repro.errors import FileExistsError_, FilesystemError
-
         for kind, name in ops:
             if kind == "enter":
                 if name in model:

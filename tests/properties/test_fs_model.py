@@ -6,7 +6,6 @@ in-memory model; contents must agree at every read, and the on-disk state
 must be fsck-clean at the end.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 from repro.cpu import CostTable, Cpu
 from repro.disk import DiskDriver, DiskGeometry, RotationalDisk
 from repro.errors import FileExistsError_, FileNotFoundError_, NoSpaceError
-from repro.s5fs import S5FileSystem, S5Params, s5_mkfs
+from repro.s5fs import S5FileSystem, s5_mkfs
 from repro.s5fs.ondisk import S5Superblock
 from repro.sim import Engine
 from repro.units import KB
@@ -269,8 +269,6 @@ def test_s5check_clean_after_workload():
 
 
 def test_s5check_detects_double_claim():
-    import struct
-
     from repro.s5fs import s5check
     from repro.s5fs.ondisk import S5Dinode
     from repro.ufs.ondisk import IFREG

@@ -7,7 +7,6 @@ from repro.errors import NoSpaceError
 from repro.ufs.inode import Inode
 from repro.ufs.ondisk import Dinode, IFDIR, IFREG
 
-from .conftest import make_system
 
 
 @pytest.fixture

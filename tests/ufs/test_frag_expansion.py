@@ -5,9 +5,6 @@ block first (possibly moving it), preserving its contents — the bug class
 hypothesis found: stale 1-fragment tails overlapping later allocations.
 """
 
-import pytest
-
-from repro.kernel import Proc
 from repro.ufs import fsck
 from repro.units import KB
 

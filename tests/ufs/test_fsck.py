@@ -1,12 +1,10 @@
 """Tests for fsck: it must find the corruptions it claims to find."""
 
-import struct
-
 import pytest
 
 from repro.disk import DiskGeometry, DiskStore
 from repro.ufs import FsParams, fsck, mkfs
-from repro.ufs.ondisk import DINODE_SIZE, Dinode, IFREG, ROOT_INO, Superblock
+from repro.ufs.ondisk import DINODE_SIZE, Dinode, IFREG, ROOT_INO
 
 
 @pytest.fixture

@@ -1,8 +1,6 @@
 """Tests for the future-work extensions wired through the UFS paths:
 UFS_HOLE bmap bypass, data-in-the-inode, random clustering, B_ORDER."""
 
-import pytest
-
 from repro.kernel import Proc
 from repro.units import KB
 

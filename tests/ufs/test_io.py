@@ -4,7 +4,7 @@ read-ahead, write clustering, free-behind, throttling, holes."""
 import pytest
 
 from repro.units import KB
-from repro.vfs import PutFlags, RW
+from repro.vfs import PutFlags
 
 from .conftest import make_system
 

@@ -2,17 +2,16 @@
 
 import pytest
 
-from repro.disk import DiskGeometry
 from repro.errors import InvalidArgumentError
-from repro.kernel import Proc, System, SystemConfig
-from repro.ufs import FsParams, fsck
+from repro.kernel import Proc
+from repro.ufs import fsck
 from repro.ufs.dump import DumpArchive, DumpEntry, restore, ufsdump
 from repro.ufs.mount import UfsMount
 from repro.ufs.ondisk import Superblock
 from repro.ufs.tunefs import tunefs
 from repro.units import KB
 
-from .conftest import make_system, small_geometry
+from .conftest import make_system
 
 
 def populate(system, proc):
