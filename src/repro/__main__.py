@@ -12,7 +12,14 @@ Commands:
 * ``netcampaign [--seeds 20] [--seed 0]`` — seeded network-fault sweep
   over NFS (drops/duplicates/corruption/partitions/server reboots against
   the RPC hardening: no lost acknowledged writes, exactly-once mutations);
+* ``simcheck [--file-mb 4]`` — the determinism differ: run IObench twice
+  with the sanitizer on and demand identical stable trace digests;
 * ``demo`` — a short guided tour (quickstart + fsck).
+
+``iobench``, ``faultcampaign``, and ``netcampaign`` accept ``--sanitize``
+to run with the cross-layer invariant sanitizer enabled (see
+``repro.sim.invariants``); the ``REPRO_SANITIZE`` environment variable
+sets the default.
 """
 
 from __future__ import annotations
@@ -41,7 +48,8 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
         if scheduler is not None:
             config = dataclasses.replace(config, scheduler=scheduler)
         bench = IObench(config, file_size=args.file_mb * MB,
-                        trace_phase="FSR" if tracing and not benches else None)
+                        trace_phase="FSR" if tracing and not benches else None,
+                        sanitize=True if args.sanitize else None)
         results[name] = bench.run().rates
         benches.append(bench)
     print()
@@ -130,7 +138,8 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
         print("faultcampaign: --cuts must be >= 1", file=sys.stderr)
         return 2
     campaign = CrashCampaign(cuts=args.cuts, seed=args.seed,
-                             trace=args.trace)
+                             trace=args.trace,
+                             sanitize=True if args.sanitize else None)
     print(f"running {args.cuts} seeded power cuts (seed={args.seed})...")
     stats = campaign.run()
     print(stats)
@@ -151,7 +160,8 @@ def _cmd_netcampaign(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("netcampaign: --seeds must be >= 1", file=sys.stderr)
         return 2
-    campaign = NetCampaign(seeds=args.seeds, base_seed=args.seed)
+    campaign = NetCampaign(seeds=args.seeds, base_seed=args.seed,
+                           sanitize=True if args.sanitize else None)
     print(f"running {args.seeds} seeded network-fault schedules "
           f"(base seed={args.seed}) over an NFS workload...")
     stats = campaign.run()
@@ -164,6 +174,14 @@ def _cmd_netcampaign(args: argparse.Namespace) -> int:
               "duplicate-request cache (fault injection inert?)")
         return 1
     return 0
+
+
+def _cmd_simcheck(args: argparse.Namespace) -> int:
+    from repro.sim.simcheck import run_simcheck
+
+    return run_simcheck(config_name=args.config.upper(),
+                        file_mb=args.file_mb, random_ops=args.ops,
+                        trace_phase=args.trace_phase, seed=args.seed)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -190,6 +208,8 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--trace-jsonl", default="", metavar="PATH",
                    help="trace the sequential-read phase of the first "
                         "config; write records+spans as JSON lines to PATH")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the cross-layer invariant sanitizer on")
     p.set_defaults(fn=_cmd_iobench)
 
     p = sub.add_parser("cpubench", help="figure 12 CPU comparison")
@@ -215,6 +235,8 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace", action="store_true",
                    help="print a per-cut trace summary")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the cross-layer invariant sanitizer on")
     p.set_defaults(fn=_cmd_faultcampaign)
 
     p = sub.add_parser("netcampaign",
@@ -223,7 +245,22 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="number of seeded fault schedules (default 20)")
     p.add_argument("--seed", type=int, default=0,
                    help="base seed (schedules use seed..seed+seeds-1)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the cross-layer invariant sanitizer on")
     p.set_defaults(fn=_cmd_netcampaign)
+
+    p = sub.add_parser("simcheck",
+                       help="determinism differ + sanitized benchmark run")
+    p.add_argument("--config", default="C",
+                   help="figure 9 configuration to run (default C)")
+    p.add_argument("--file-mb", type=int, default=4)
+    p.add_argument("--ops", type=int, default=256,
+                   help="random operations per random phase (default 256)")
+    p.add_argument("--trace-phase", default="FSW",
+                   choices=["FSR", "FSU", "FSW", "FRR", "FRU"],
+                   help="which phase to trace and digest (default FSW)")
+    p.add_argument("--seed", type=int, default=1991)
+    p.set_defaults(fn=_cmd_simcheck)
 
     p = sub.add_parser("demo", help="guided quickstart")
     p.set_defaults(fn=_cmd_demo)

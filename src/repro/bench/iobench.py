@@ -52,7 +52,8 @@ class IObench:
     def __init__(self, config: SystemConfig, file_size: int = 16 * MB,
                  record_size: int = 8 * KB, random_ops: int = 2048,
                  seed: int = 1991, path: str = "/iobench.dat",
-                 trace_phase: "str | None" = None):
+                 trace_phase: "str | None" = None,
+                 sanitize: "bool | None" = None):
         if file_size % record_size:
             raise ValueError("file size must be a multiple of the record size")
         if trace_phase is not None and trace_phase not in PHASES:
@@ -66,7 +67,11 @@ class IObench:
         #: Enable the tracer (spans + records) for exactly this phase, so
         #: the trace stays bounded: one phase's span trees, not five.
         self.trace_phase = trace_phase
+        #: Force the invariant sanitizer on (True) or off (False) for this
+        #: run; None keeps the REPRO_SANITIZE environment default.
+        self.sanitize = sanitize
         self.system: System | None = None
+        self._phase_reports: dict[str, Any] = {}
 
     # -- phases ---------------------------------------------------------------
     def _timed(self, system: System, gen, nbytes: int,
@@ -74,6 +79,10 @@ class IObench:
         tracing = self.trace_phase == phase
         if tracing:
             system.tracer.enabled = True
+        # Snapshot the registry so this phase's table reports only its own
+        # samples — before this, every phase's latencies and counts leaked
+        # into the next phase's report.
+        snap = system.requests.snapshot()
         t0 = system.now
         cpu0 = system.cpu.system_time
         system.run(gen, name=f"iobench-{phase}")
@@ -82,6 +91,9 @@ class IObench:
             system.tracer.enabled = False
         result.rates[phase] = kb_per_sec(nbytes, elapsed)
         result.cpu_util[phase] = (system.cpu.system_time - cpu0) / elapsed
+        self._phase_reports[phase] = system.requests.report_since(snap)
+        # Each phase end is a quiesce point: the workload drained the engine.
+        system.sanitizer.checkpoint(f"phase_{phase}", idle=True)
 
     def _pipeline_report(self, system: System) -> dict[str, Any]:
         """Per-layer pipeline stats for the whole run (all phases)."""
@@ -95,6 +107,7 @@ class IObench:
             "queue_wait": driver.wait_hist.summary(),
             "service": driver.service_hist.summary(),
             "requests": system.requests.report(),
+            "phases": dict(self._phase_reports),
         }
 
     def _seq_write(self, proc: Proc, update: bool):
@@ -152,9 +165,12 @@ class IObench:
     def run(self) -> IObenchResult:
         """FSW, FSU, FSR, FRR, FRU — in an order that sets up each phase."""
         system = System.booted(self.config)
+        if self.sanitize is not None:
+            system.sanitizer.enabled = self.sanitize
         self.system = system
         proc = Proc(system, name="iobench")
         result = IObenchResult(config=self.config.name)
+        self._phase_reports.clear()
 
         # FSW: sequential write with allocation.
         self._timed(system, self._seq_write(proc, update=False),

@@ -23,13 +23,15 @@ if TYPE_CHECKING:  # pragma: no cover
 class WriteThrottle:
     """The inode's counting semaphore over bytes in the write queue."""
 
-    def __init__(self, engine: "Engine", limit: int):
-        """``limit`` in bytes; 0 disables throttling entirely."""
+    def __init__(self, engine: "Engine", limit: int, owner: str = ""):
+        """``limit`` in bytes; 0 disables throttling entirely.  ``owner``
+        labels the file this throttle belongs to in sanitizer reports."""
         if limit < 0:
             raise ValueError("limit must be >= 0")
         self.engine = engine
         self.limit = limit
         self.value = limit
+        self.owner = owner
         self._waiters: list[Event] = []
         self._drain_waiters: list[Event] = []
         self.sleeps = 0
@@ -87,15 +89,23 @@ class WriteThrottle:
             self._drain_waiters.append(ev)
             yield ev
 
-    def credit(self, nbytes: int) -> None:
-        """A queued write of ``nbytes`` completed (called from iodone)."""
+    def credit(self, nbytes: int, source: Any = None) -> None:
+        """A queued write of ``nbytes`` completed (called from iodone).
+
+        ``source`` is whatever completed (typically the buf): an
+        over-credit — crediting more bytes than were ever taken — raises a
+        :class:`~repro.sim.invariants.SanitizerError` naming the owner and,
+        when the source carries a traced request, its span tree, instead of
+        crashing the engine with an anonymous RuntimeError deep in
+        interrupt context.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if not self.enabled:
             return
         self.value += nbytes
         if self.value > self.limit:
-            raise RuntimeError("write throttle over-credited")
+            self._over_credited(nbytes, source)
         if self.value >= 0 and self._waiters:
             waiters, self._waiters = self._waiters, []
             for ev in waiters:
@@ -104,3 +114,19 @@ class WriteThrottle:
             drainers, self._drain_waiters = self._drain_waiters, []
             for ev in drainers:
                 ev.succeed()
+
+    def _over_credited(self, nbytes: int, source: Any) -> None:
+        from repro.sim.invariants import SanitizerError, render_request
+
+        who = self.owner or "write throttle"
+        detail = f"credited {nbytes} bytes"
+        if source is not None:
+            detail += f" by {source!r}"
+        request = getattr(source, "request", None)
+        raise SanitizerError(
+            "throttle_conservation",
+            f"{who} over-credited: {detail}, leaving value="
+            f"{self.value} above limit={self.limit} "
+            "(a completion credited bytes it never took)",
+            span_tree=render_request(request),
+        )

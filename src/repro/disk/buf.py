@@ -98,7 +98,18 @@ class Buf:
         return self.end_sector == other.sector or other.end_sector == self.sector
 
     def complete(self, error: BaseException | None = None) -> None:
-        """Mark the request finished, run iodone hooks, trigger ``done``."""
+        """Mark the request finished, run iodone hooks, trigger ``done``.
+
+        Completing twice would run the iodone hooks twice (double-crediting
+        throttles, double-freeing pages) — it is a simulation bug, reported
+        as such rather than as a confusing "event already triggered".
+        """
+        if self.done.triggered:
+            from repro.sim.engine import SimulationError
+
+            raise SimulationError(
+                f"{self!r} completed twice (owner={self.owner!r})"
+            )
         self.finished_at = self.done.engine.now
         self.error = error
         for hook in self.iodone:

@@ -190,6 +190,12 @@ class DiskDriver:
         #: and mirrors a real drive's grown-defect list.
         self.remap_table: dict[int, int] = {}
         self.queue = DiskQueue(use_disksort=use_disksort, scheduler=scheduler)
+        #: Bufs accepted by strategy() whose completion has not run yet,
+        #: by buf id.  Coalesced parents are internal (never registered);
+        #: their children stay outstanding until they individually
+        #: complete, so split-retry cannot lose one.  The sanitizer's
+        #: buf-balance check requires this to be empty at idle.
+        self.outstanding: dict[int, Buf] = {}
         self.stats = StatSet(f"{name}.driver")
         self.queue_depth = TimeWeighted(engine, 0)
         #: Per-request time from strategy() to entering service.
@@ -216,6 +222,8 @@ class DiskDriver:
         a coalesced parent absorbing this one)."""
         self.stats.incr("requests")
         self.stats.incr("bytes", buf.nbytes)
+        self.stats.incr("tracked_issued")
+        self.outstanding[buf.id] = buf
         self.queue_bytes.add(buf.nbytes)
         if self.coalesce and not buf.ordered:
             merged = self._try_coalesce(buf)
@@ -354,6 +362,7 @@ class DiskDriver:
             self.stats.incr("errors")
         if buf.children:
             self._complete_children(buf, error)
+        self._settle(buf)
         buf.complete(error)
 
     def _complete_children(self, parent: Buf,
@@ -364,4 +373,14 @@ class DiskDriver:
                 assert parent.data is not None
                 child.data = parent.data[offset:offset + child.nbytes]
                 offset += child.nbytes
+            self._settle(child)
             child.complete(error)
+
+    def _settle(self, buf: Buf) -> None:
+        """Retire a buf from the outstanding table exactly once.
+
+        Coalesced parents were never registered (strategy saw only their
+        children), so only tracked bufs count toward the balance.
+        """
+        if self.outstanding.pop(buf.id, None) is not None:
+            self.stats.incr("tracked_completed")

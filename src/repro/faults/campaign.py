@@ -36,6 +36,7 @@ from repro.kernel.syscalls import Proc
 from repro.kernel.system import System
 from repro.sim.engine import SimulationError
 from repro.sim.events import EventFailed
+from repro.sim.invariants import SanitizerError
 from repro.sim.stats import StatSet
 from repro.sim.trace import TraceRecord
 from repro.ufs.fsck import fsck
@@ -76,7 +77,8 @@ class CrashCampaign:
 
     def __init__(self, cuts: int = 50, seed: int = 0, nfiles: int = 10,
                  file_bytes: int = 48 * KB,
-                 config: "SystemConfig | None" = None, trace: bool = False):
+                 config: "SystemConfig | None" = None, trace: bool = False,
+                 sanitize: "bool | None" = None):
         if cuts < 1:
             raise ValueError("cuts must be >= 1")
         self.cuts = cuts
@@ -85,6 +87,9 @@ class CrashCampaign:
         self.file_bytes = file_bytes
         self.config = config if config is not None else default_campaign_config()
         self.trace = trace
+        #: Force the invariant sanitizer on/off; None keeps the
+        #: REPRO_SANITIZE environment default.
+        self.sanitize = sanitize
         self.stats = CampaignStats()
         #: The same numbers as a StatSet, for sim/stats consumers.
         self.statset = StatSet("campaign")
@@ -126,6 +131,8 @@ class CrashCampaign:
                 if cut_time is not None else None)
         state = {"durable": {}, "written": 0, "unlinked": 0, "booted_at": 0.0}
         system = System(self.config, fault_plan=plan)
+        if self.sanitize is not None:
+            system.sanitizer.enabled = self.sanitize
         system.mkfs()
         try:
             system.run(system.mount_fs())
@@ -135,6 +142,10 @@ class CrashCampaign:
             proc = Proc(system)
             system.run(self._workload(proc, state), name="campaign-workload")
             system.sync()
+        except SanitizerError:
+            # Invariant violations are simulation bugs, never modelled
+            # faults — a power cut must not bury them.
+            raise
         except (ReproError, SimulationError, EventFailed):
             # The machine lost power mid-flight: expected.  (EventFailed is
             # the engine's envelope for a failed I/O reaching a path that
@@ -156,6 +167,10 @@ class CrashCampaign:
         # Rehearsal: learn the workload's fault-free duration (and the boot
         # time) so the cut instants land inside the interesting window.
         rehearsal, _, r_state = self._one_run(None)
+        # The rehearsal ran fault-free and synced: the deepest quiesce point
+        # a campaign has.  The deep pass runs fsck's walkers over the store.
+        rehearsal.sanitizer.checkpoint("campaign_rehearsal", idle=True,
+                                       deep=True)
         t_start, t_end = r_state["booted_at"], rehearsal.now
         rng = random.Random(self.seed)
         cut_times = [rng.uniform(t_start, t_end) for _ in range(self.cuts)]
@@ -178,6 +193,8 @@ class CrashCampaign:
             # Remount the repaired bytes and hold fsync to its word.
             durable = state["durable"]
             survivor = System.remounted(store, self.config)
+            if self.sanitize is not None:
+                survivor.sanitizer.enabled = self.sanitize
             proc = Proc(survivor)
             for path in sorted(durable):
                 expect = durable[path]
@@ -185,10 +202,16 @@ class CrashCampaign:
                     got = survivor.run(
                         self._read_file(proc, path, len(expect)),
                         name="campaign-verify")
+                except SanitizerError:
+                    raise
                 except (ReproError, SimulationError):
                     got = None
                 if got != expect:
                     s.silent_corruptions += 1
+            # The survivor is quiesced and its store fsck-repaired: a full
+            # (deep) sweep must find the machine and the disk consistent.
+            survivor.sanitizer.checkpoint("campaign_survivor", idle=True,
+                                          deep=True)
             s.data_bytes_lost += state["written"] - sum(
                 len(v) for v in durable.values())
             if self.trace:

@@ -99,7 +99,8 @@ class NetCampaign:
 
     def __init__(self, seeds: int = 20, base_seed: int = 0, nfiles: int = 5,
                  file_bytes: int = 16 * KB,
-                 config: "SystemConfig | None" = None):
+                 config: "SystemConfig | None" = None,
+                 sanitize: "bool | None" = None):
         if seeds < 1:
             raise ValueError("seeds must be >= 1")
         if nfiles < 2:
@@ -109,6 +110,9 @@ class NetCampaign:
         self.nfiles = nfiles
         self.file_bytes = file_bytes
         self.config = config if config is not None else default_campaign_config()
+        #: Force the invariant sanitizer on/off for both machines of every
+        #: world; None keeps the REPRO_SANITIZE environment default.
+        self.sanitize = sanitize
         self.stats = NetCampaignStats()
         #: The same numbers as a StatSet, for sim/stats consumers.
         self.statset = StatSet("netcampaign")
@@ -169,6 +173,14 @@ class NetCampaign:
         """Build a world, run the doomed workload, verify, fingerprint."""
         client, server_sys, mount = build_world(
             server_config=self.config, fault_plan=plan, timeo=0.3)
+        if self.sanitize is not None:
+            client.sanitizer.enabled = self.sanitize
+            server_sys.sanitizer.enabled = self.sanitize
+        # The client machine has no UFS mount; its write throttles live on
+        # the NFS vnodes.  Teach its sanitizer where to find them.
+        client.sanitizer.throttle_sources.append(
+            lambda: ((f"nfs handle {h}", vn.throttle)
+                     for h, vn in mount._vnodes.items()))
         state: dict = {"durable": {}, "removed": []}
         proc = Proc(client, mount=mount)
         start = client.now
@@ -182,6 +194,12 @@ class NetCampaign:
             plan.disabled = True  # faults clear; now the promises come due
             self._verify(client, mount, state, result)
         result["fingerprint"] = self._fingerprint(result)
+        # End-of-run quiesce: both machines idle, the wire clean.  The
+        # server syncs first so the deep pass can hold fsck to its word.
+        server_sys.sync()
+        client.sanitizer.checkpoint("netcampaign_run", idle=True)
+        server_sys.sanitizer.checkpoint("netcampaign_run", idle=True,
+                                        deep=True)
         return result
 
     def _verify(self, client, mount, state: dict, result: dict) -> None:

@@ -207,6 +207,9 @@ class Proc:
             req.complete(error=exc)
             raise
         req.complete()
+        # fsync is a quiesce point for *this file*, not the machine: other
+        # processes may be mid-I/O, so only the always-true checks run.
+        self.system.sanitizer.checkpoint("fsync", idle=False)
 
     def mmap(self, fd: int, length: int, offset: int = 0,
              writable: bool = False):

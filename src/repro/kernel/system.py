@@ -10,6 +10,7 @@ from repro.disk.driver import DiskDriver
 from repro.disk.store import DiskStore
 from repro.kernel.config import SystemConfig
 from repro.sim.engine import Engine
+from repro.sim.invariants import Sanitizer
 from repro.sim.request import RequestRegistry
 from repro.sim.trace import Tracer
 from repro.ufs.mkfs import mkfs
@@ -63,6 +64,9 @@ class System:
         )
         self.mount: UfsMount | None = None
         self.raw_disk = RawDiskVnode(self.engine, self.driver, self.cpu)
+        #: The cross-layer invariant sanitizer ("simsan"); enabled via the
+        #: REPRO_SANITIZE environment variable or per-run --sanitize flags.
+        self.sanitizer = Sanitizer(self)
 
     # -- setup -------------------------------------------------------------
     def mkfs(self, params: FsParams | None = None):
@@ -101,8 +105,16 @@ class System:
 
     # -- running workloads -----------------------------------------------------
     def run(self, gen: Generator, name: str = "workload") -> Any:
-        """Run one generator to completion on the engine."""
-        return self.engine.run_process(gen, name=name)
+        """Run one generator to completion on the engine.
+
+        A successful run drains the engine to idle — a quiesce point — so
+        the sanitizer's full invariant suite runs here.  A run that raises
+        leaves the machine in a legitimately inconsistent state (crashed
+        workload, injected fault), so no checkpoint fires on that path.
+        """
+        result = self.engine.run_process(gen, name=name)
+        self.sanitizer.checkpoint("run_idle", idle=True)
+        return result
 
     def run_all(self, gens: "list[Generator]") -> list[Any]:
         """Run several generators concurrently; returns their results."""
@@ -112,6 +124,7 @@ class System:
         missing = [p for p in procs if not p.triggered]
         if missing:
             raise RuntimeError(f"{len(missing)} workload(s) deadlocked")
+        self.sanitizer.checkpoint("run_idle", idle=True)
         return [p.value for p in procs]
 
     @property

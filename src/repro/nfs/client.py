@@ -319,7 +319,8 @@ class NfsVnode(Vnode):
         self.remote_size = size
         self.readahead = ReadAheadState()
         self.throttle = WriteThrottle(mount.engine,
-                                      mount.write_behind_limit)
+                                      mount.write_behind_limit,
+                                      owner=f"nfs handle {handle}")
         #: Deferred write-behind failure, raised by the next write()/fsync()
         #: (the NFS flavour of ufs/io.py's partial-write error propagation).
         self.error: "ReproError | None" = None
@@ -537,7 +538,7 @@ class NfsVnode(Vnode):
         finally:
             # Whatever happened, the throttle slot must come back — a stuck
             # slot would wedge this file at the limit forever.
-            self.throttle.credit(self.mount.pagecache.page_size)
+            self.throttle.credit(self.mount.pagecache.page_size, source=self)
 
     def fsync(self, req: "Any | None" = None) -> Generator[Any, Any, None]:
         self._raise_deferred()

@@ -14,9 +14,11 @@ tie-break sequence number in the event heap.
 
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, EventFailed, Interrupt, Process, Timeout
-from repro.sim.request import IORequest, RequestRegistry
+from repro.sim.invariants import Sanitizer, SanitizerError
+from repro.sim.request import IORequest, RegistrySnapshot, RequestRegistry
 from repro.sim.resources import Resource, Semaphore, Signal
-from repro.sim.stats import Histogram, StatSet, TimeWeighted
+from repro.sim.simcheck import run_simcheck, stable_digest
+from repro.sim.stats import Histogram, HistogramSnapshot, StatSet, TimeWeighted
 from repro.sim.trace import Span, TraceRecord, Tracer
 
 __all__ = [
@@ -26,11 +28,15 @@ __all__ = [
     "Event",
     "EventFailed",
     "Histogram",
+    "HistogramSnapshot",
     "IORequest",
     "Interrupt",
     "Process",
+    "RegistrySnapshot",
     "RequestRegistry",
     "Resource",
+    "Sanitizer",
+    "SanitizerError",
     "Semaphore",
     "Signal",
     "SimulationError",
@@ -40,4 +46,6 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "run_simcheck",
+    "stable_digest",
 ]

@@ -28,13 +28,14 @@ class Scheduled:
     without leaving a dead-time tail at the end of the run.
     """
 
-    __slots__ = ("fn", "arg", "daemon", "cancelled")
+    __slots__ = ("fn", "arg", "daemon", "cancelled", "fired")
 
     def __init__(self, fn: Callable[[Any], None], arg: Any, daemon: bool):
         self.fn = fn
         self.arg = arg
         self.daemon = daemon
         self.cancelled = False
+        self.fired = False
 
 
 class Engine:
@@ -59,6 +60,11 @@ class Engine:
         self._live = 0  # non-daemon heap entries
         self._crashed: list[tuple[Process, BaseException]] = []
         self._running = False
+        #: Optional hook run every ``step_hook_every`` executed steps (the
+        #: invariant sanitizer's periodic mode); None disables it.
+        self.step_hook: "Callable[[], None] | None" = None
+        self.step_hook_every = 0
+        self._steps = 0
 
     # -- time ------------------------------------------------------------
     @property
@@ -91,8 +97,13 @@ class Engine:
 
         The heap slot stays behind but is skipped (without advancing time)
         when popped, and stops counting toward run-to-idle liveness.
+
+        An entry that already fired has left the heap and settled its
+        liveness accounting in :meth:`step`; cancelling it then must not
+        decrement ``_live`` a second time (that would make run-to-idle stop
+        with work still pending).
         """
-        if entry.cancelled:
+        if entry.cancelled or entry.fired:
             return
         entry.cancelled = True
         if not entry.daemon:
@@ -127,11 +138,27 @@ class Engine:
                 continue
             assert when >= self._now, "event heap went backwards"
             self._now = when
+            entry.fired = True
             if not entry.daemon:
                 self._live -= 1
             entry.fn(entry.arg)
+            self._steps += 1
+            if (self.step_hook is not None and self.step_hook_every > 0
+                    and self._steps % self.step_hook_every == 0):
+                self.step_hook()
             return True
         return False
+
+    def live_pending(self) -> int:
+        """Non-cancelled, non-daemon entries still in the heap.
+
+        The run-to-idle invariant is ``self._live == self.live_pending()``
+        at every step boundary; the sanitizer's liveness check asserts it.
+        """
+        return sum(
+            1 for _, _, entry in self._heap
+            if not entry.cancelled and not entry.daemon
+        )
 
     def run(self, until: float | None = None) -> None:
         """Run until the heap drains or simulated time reaches ``until``.

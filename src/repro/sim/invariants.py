@@ -1,0 +1,431 @@
+"""Cross-layer invariant checks ("simsan").
+
+The paper's performance tricks are controlled lies: write clustering lies
+about delayed pages, free-behind drops pages the pager thinks it owns, and
+the write-limit semaphore promises that every queued byte is eventually
+credited back.  Each lie rests on an accounting invariant that spans two or
+more layers — and no single unit test exercises those seams.  This module
+is the registry of such invariants, checked at *quiesce points*:
+
+* after every :meth:`System.run`/``run_all`` (the engine is idle: no bufs
+  outstanding, throttles drained, no requests open);
+* inside ``fsync`` (not idle — other processes may be mid-I/O — so only the
+  always-true subset runs);
+* at campaign ends and benchmark phase boundaries;
+* optionally every N engine steps (:meth:`Sanitizer.attach_every`).
+
+The six shipped checks:
+
+``engine_liveness``
+    ``Engine._live`` equals the number of non-cancelled, non-daemon heap
+    entries — the run-to-idle counter can neither wedge the loop (too high)
+    nor stop it with work pending (too low).
+``buf_balance``
+    Every buf handed to ``DiskDriver.strategy`` completes (or errors)
+    exactly once, including driver-coalesce and split-retry paths; at idle
+    the driver's outstanding table is empty.
+``throttle_conservation``
+    Per-file write throttles are never over-credited, the bytes charged
+    never fall below the bytes still sitting in the driver for that file,
+    and at idle every throttle is fully drained.
+``request_spans``
+    No request finishes with a child span still open; at idle the registry
+    has no open requests and the in-flight gauge reads zero.
+``page_coherency``
+    Every clean, valid, unlocked page of a mounted UFS file is
+    byte-identical to its backing store, resolved through the same block
+    pointers bmap uses.
+``allocator``
+    In-memory cylinder-group bitmaps agree with the group counters and the
+    superblock totals, and every block an active inode points at is marked
+    allocated; ``deep=True`` additionally runs fsck's walkers read-only
+    over the on-disk bytes.
+
+A violation raises :class:`SanitizerError`, which carries the offending
+request's rendered span tree when one is attributable.
+
+Adding a check: write a ``Sanitizer`` method raising :meth:`Sanitizer.fail`
+on violation and append it to :data:`Sanitizer.CHECKS` with ``idle_only``
+set if it only holds when the engine has drained.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.throttle import WriteThrottle
+    from repro.kernel.system import System
+
+#: Environment switch: ``REPRO_SANITIZE=1`` turns the sanitizer on for
+#: every :class:`~repro.kernel.system.System` built afterwards (the test
+#: suite sets it in ``tests/conftest.py``; production runs default off).
+ENV_SWITCH = "REPRO_SANITIZE"
+
+
+def default_enabled() -> bool:
+    """The process-wide default for new sanitizers (see :data:`ENV_SWITCH`)."""
+    return os.environ.get(ENV_SWITCH, "0").lower() in ("1", "true", "yes", "on")
+
+
+class SanitizerError(SimulationError):
+    """An invariant violation: a bug in the simulation, never a modelled
+    fault.  Carries the failed check's name and, when one is attributable,
+    the offending request's span tree."""
+
+    def __init__(self, check: str, message: str,
+                 span_tree: "str | None" = None):
+        self.check = check
+        self.span_tree = span_tree
+        text = f"[simsan:{check}] {message}"
+        if span_tree:
+            text += f"\nrequest span tree:\n{span_tree}"
+        super().__init__(text)
+
+
+class Sanitizer:
+    """The per-machine registry of cross-layer invariant checks."""
+
+    def __init__(self, system: "System", enabled: "bool | None" = None):
+        self.system = system
+        self.enabled = default_enabled() if enabled is None else enabled
+        #: Checkpoints taken and checks run, for tests and reports.
+        self.checkpoints = 0
+        self.checks_run = 0
+        #: Extra throttle providers beyond the UFS inode cache (the NFS
+        #: campaign registers its client vnodes here); each yields
+        #: ``(owner label, WriteThrottle)`` pairs.
+        self.throttle_sources: list[
+            Callable[[], Iterable[tuple[str, "WriteThrottle"]]]
+        ] = []
+
+    # -- running ----------------------------------------------------------
+    def checkpoint(self, point: str, idle: bool, deep: bool = False) -> None:
+        """Run every applicable check; raise on the first violation.
+
+        ``idle`` asserts the engine has drained (post-``run`` quiesce);
+        checks marked ``idle_only`` are skipped otherwise.  ``deep`` adds
+        the expensive on-disk pass (fsck's walkers, read-only).
+        """
+        if not self.enabled:
+            return
+        self.checkpoints += 1
+        for name, idle_only, fn in self.CHECKS:
+            if idle_only and not idle:
+                continue
+            self.checks_run += 1
+            fn(self, point, idle, deep)
+
+    def attach_every(self, steps: int) -> None:
+        """Also run the non-idle-safe checks every ``steps`` engine steps."""
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        engine = self.system.engine
+
+        def hook() -> None:
+            self.checkpoint("step", idle=False)
+
+        engine.step_hook = hook
+        engine.step_hook_every = steps
+
+    def fail(self, check: str, message: str, request: Any = None) -> None:
+        """Raise a :class:`SanitizerError`, attaching ``request``'s span
+        tree when tracing captured one."""
+        raise SanitizerError(check, message, span_tree=render_request(request))
+
+    # -- check 1: engine liveness -----------------------------------------
+    def _check_engine_liveness(self, point: str, idle: bool,
+                               deep: bool) -> None:
+        engine = self.system.engine
+        pending = engine.live_pending()
+        if engine._live != pending:
+            self.fail(
+                "engine_liveness",
+                f"at {point}: _live={engine._live} but the heap holds "
+                f"{pending} non-cancelled non-daemon entries "
+                "(cancel/step accounting drifted)",
+            )
+        if idle and engine._live != 0:
+            self.fail(
+                "engine_liveness",
+                f"at {point}: engine reported idle with _live={engine._live}",
+            )
+
+    # -- check 2: buf refcount / leak -------------------------------------
+    def _check_buf_balance(self, point: str, idle: bool, deep: bool) -> None:
+        driver = self.system.driver
+        if not driver.idle:
+            self.fail(
+                "buf_balance",
+                f"at {point}: quiesced with driver busy "
+                f"(queue={len(driver.queue)}, busy={driver._busy})",
+            )
+        if driver.outstanding:
+            buf = next(iter(driver.outstanding.values()))
+            self.fail(
+                "buf_balance",
+                f"at {point}: {len(driver.outstanding)} buf(s) issued to "
+                f"the driver never completed; first leak: {buf!r} "
+                f"(owner={buf.owner!r})",
+                request=getattr(buf, "request", None),
+            )
+        issued = driver.stats["tracked_issued"]
+        done = driver.stats["tracked_completed"]
+        if issued != done:
+            self.fail(
+                "buf_balance",
+                f"at {point}: {issued:g} bufs issued but {done:g} "
+                "completions recorded (a buf completed twice or vanished)",
+            )
+
+    # -- check 3: write-throttle conservation ------------------------------
+    def _throttles(self) -> Iterable[tuple[str, "WriteThrottle"]]:
+        mount = self.system.mount
+        if mount is not None:
+            for ino, ip in mount._icache.items():
+                yield f"inode {ino}", ip.throttle
+        for source in self.throttle_sources:
+            yield from source()
+
+    def _check_throttles(self, point: str, idle: bool, deep: bool) -> None:
+        # Bytes still in the driver per throttle, recovered from the write
+        # iodone hooks riding on the outstanding bufs.
+        queued: dict[int, int] = {}
+        for buf in self.system.driver.outstanding.values():
+            for hook in buf.iodone:
+                throttle = getattr(hook, "throttle", None)
+                charged = getattr(hook, "charged", None)
+                if throttle is not None and charged is not None:
+                    queued[id(throttle)] = queued.get(id(throttle), 0) + charged
+        for owner, throttle in self._throttles():
+            if not throttle.enabled:
+                continue  # limit 0: take/credit are no-ops, nothing to hold
+            if throttle.value > throttle.limit:
+                self.fail(
+                    "throttle_conservation",
+                    f"at {point}: {owner} write throttle over-credited "
+                    f"(value={throttle.value} > limit={throttle.limit})",
+                )
+            in_driver = queued.get(id(throttle), 0)
+            if throttle.in_flight < in_driver:
+                self.fail(
+                    "throttle_conservation",
+                    f"at {point}: {owner} has {in_driver} bytes queued in "
+                    f"the driver but only {throttle.in_flight} charged "
+                    "(a completion credited bytes still in flight)",
+                )
+            if idle and throttle.in_flight != 0:
+                self.fail(
+                    "throttle_conservation",
+                    f"at {point}: {owner} still has "
+                    f"{throttle.in_flight} bytes charged at idle "
+                    "(a completion path never credited them back)",
+                )
+
+    # -- check 4: request/span balance -------------------------------------
+    def _check_request_spans(self, point: str, idle: bool,
+                             deep: bool) -> None:
+        registry = self.system.requests
+        if registry.span_leaks:
+            rid, kind, names = registry.span_leaks[0]
+            self.fail(
+                "request_spans",
+                f"at {point}: request #{rid} ({kind}) finished with open "
+                f"span(s) {list(names)} — a begin() without a finally end() "
+                f"({len(registry.span_leaks)} leak(s) total)",
+            )
+        if idle and registry.open:
+            req = next(iter(registry.open.values()))
+            self.fail(
+                "request_spans",
+                f"at {point}: {len(registry.open)} request(s) still open at "
+                f"idle; first: {req!r}",
+                request=req,
+            )
+        if idle and registry.inflight.value != 0:
+            self.fail(
+                "request_spans",
+                f"at {point}: inflight gauge reads "
+                f"{registry.inflight.value:g} at idle (start/complete "
+                "accounting drifted)",
+            )
+
+    # -- check 5: page-cache / on-disk coherency ---------------------------
+    def _resolve_lbn(self, mount: Any, ip: Any, lbn: int) -> int:
+        """Block pointer for ``lbn`` without simulated I/O: in-memory inode
+        pointers, then the metacache's cached copy, then the raw store —
+        the same bytes bmap would read, in the same precedence."""
+        from repro.ufs.bmap import HOLE, nindir
+        from repro.ufs.ondisk import NDADDR
+
+        if lbn < NDADDR:
+            return ip.direct[lbn]
+        n = nindir(mount.sb.bsize)
+        rel = lbn - NDADDR
+        if rel < n:
+            if ip.indirect == HOLE:
+                return HOLE
+            return self._read_ptr_raw(mount, ip.indirect, rel)
+        rel -= n
+        if ip.dindirect == HOLE:
+            return HOLE
+        outer = self._read_ptr_raw(mount, ip.dindirect, rel // n)
+        if outer == HOLE:
+            return HOLE
+        return self._read_ptr_raw(mount, outer, rel % n)
+
+    @staticmethod
+    def _read_ptr_raw(mount: Any, addr_block: int, index: int) -> int:
+        meta = mount.metacache._bufs.get(addr_block)
+        if meta is not None:
+            return struct.unpack_from("<I", meta.data, index * 4)[0]
+        store = mount.driver.disk.store
+        frag_sectors = mount.sb.fsize // 512
+        data = store.read(addr_block * frag_sectors, mount.sb.bsize // 512)
+        return struct.unpack_from("<I", data, index * 4)[0]
+
+    def _check_page_coherency(self, point: str, idle: bool,
+                              deep: bool) -> None:
+        from repro.ufs.bmap import HOLE
+
+        mount = self.system.mount
+        if mount is None:
+            return
+        pc = self.system.pagecache
+        store = mount.driver.disk.store
+        sb = mount.sb
+        for vn in list(mount._vnodes.values()):
+            ip = vn.inode
+            if not ip.is_reg:
+                continue
+            for page in pc.vnode_pages(vn):
+                if page.dirty or page.locked or not page.valid:
+                    continue  # only clean, settled pages promise coherency
+                if page.offset >= ip.size:
+                    continue
+                lbn = page.offset // sb.bsize
+                nbytes = min(ip.blksize(lbn), ip.size - page.offset)
+                addr = self._resolve_lbn(mount, ip, lbn)
+                if addr == HOLE:
+                    if any(page.data[:nbytes]):
+                        self.fail(
+                            "page_coherency",
+                            f"at {point}: inode {ip.ino} offset "
+                            f"{page.offset}: clean page over a hole holds "
+                            "non-zero bytes",
+                        )
+                    continue
+                nsectors = -(-nbytes // 512)
+                disk = store.read(sb.fsb_to_sector(addr), nsectors)
+                if bytes(page.data[:nbytes]) != disk[:nbytes]:
+                    self.fail(
+                        "page_coherency",
+                        f"at {point}: inode {ip.ino} offset {page.offset}: "
+                        f"clean page differs from disk at fragment {addr} "
+                        "(a write was lost or mis-addressed)",
+                    )
+
+    # -- check 6: allocator consistency ------------------------------------
+    def _check_allocator(self, point: str, idle: bool, deep: bool) -> None:
+        from repro.ufs.bmap import HOLE
+        from repro.ufs.ondisk import NDADDR
+
+        mount = self.system.mount
+        if mount is None:
+            return
+        sb = mount.sb
+        total_nbfree = total_nffree = 0
+        for cg in mount.cgs:
+            base = sb.cgbase(cg.cgx)
+            data_start = sb.cg_data_frag(cg.cgx) - base
+            end = sb.cg_end_frag(cg.cgx) - base
+            nbfree = nffree = 0
+            for block_rel in range(data_start, end - sb.frag + 1, sb.frag):
+                free_here = sum(
+                    cg.frag_is_free(block_rel + i) for i in range(sb.frag)
+                )
+                if free_here == sb.frag:
+                    nbfree += 1
+                else:
+                    nffree += free_here
+            if nbfree != cg.nbfree or nffree != cg.nffree:
+                self.fail(
+                    "allocator",
+                    f"at {point}: group {cg.cgx} counters say "
+                    f"nbfree={cg.nbfree} nffree={cg.nffree} but its bitmap "
+                    f"shows {nbfree}/{nffree}",
+                )
+            total_nbfree += cg.nbfree
+            total_nffree += cg.nffree
+        if (total_nbfree != sb.cs_nbfree
+                or total_nffree != sb.cs_nffree):
+            self.fail(
+                "allocator",
+                f"at {point}: superblock totals nbfree={sb.cs_nbfree} "
+                f"nffree={sb.cs_nffree} != group sums "
+                f"{total_nbfree}/{total_nffree}",
+            )
+        # Every block an active inode points at must be allocated in its
+        # group's bitmap (a free-but-claimed fragment is a lost-data bug).
+        for ino, ip in mount._icache.items():
+            if ip.nlink <= 0:
+                continue
+            if not (ip.is_reg or ip.is_dir):
+                continue  # fast symlinks reuse direct[] as target bytes
+            claims = [a for a in ip.direct[:NDADDR] if a != HOLE]
+            for a in (ip.indirect, ip.dindirect):
+                if a != HOLE:
+                    claims.append(a)
+            for addr in claims:
+                cgx = addr // sb.fpg
+                rel = addr - sb.cgbase(cgx)
+                if mount.cgs[cgx].frag_is_free(rel):
+                    self.fail(
+                        "allocator",
+                        f"at {point}: inode {ino} claims fragment {addr} "
+                        f"but group {cgx}'s bitmap marks it free",
+                    )
+        if deep:
+            self._check_allocator_deep(point)
+
+    def _check_allocator_deep(self, point: str) -> None:
+        """The on-disk form: fsck's walkers, read-only, must come back
+        clean.  Only valid after a full sync (the caller's contract)."""
+        from repro.ufs.fsck import fsck
+
+        report = fsck(self.system.store)
+        if not report.clean:
+            self.fail(
+                "allocator",
+                f"at {point}: on-disk walk found "
+                f"{len(report.findings)} problem(s); first: "
+                f"{report.findings[0]}",
+            )
+
+    #: The check registry: (name, idle_only, method).
+    CHECKS: "list[tuple[str, bool, Callable[..., None]]]" = [
+        ("engine_liveness", False, _check_engine_liveness),
+        ("buf_balance", True, _check_buf_balance),
+        ("throttle_conservation", False, _check_throttles),
+        ("request_spans", False, _check_request_spans),
+        ("page_coherency", False, _check_page_coherency),
+        ("allocator", False, _check_allocator),
+    ]
+
+
+def render_request(request: Any) -> "str | None":
+    """The span tree of ``request`` as text, when tracing captured one."""
+    if request is None:
+        return None
+    tracer = getattr(request, "tracer", None)
+    root = getattr(request, "root", None)
+    if tracer is None or root is None or not tracer.spans:
+        return None
+    try:
+        return tracer.render_spans(root)
+    except Exception:  # pragma: no cover - rendering must never mask the bug
+        return None

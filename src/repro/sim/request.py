@@ -131,12 +131,22 @@ class IORequest:
 
     # -- completion ---------------------------------------------------------------
     def complete(self, error: BaseException | None = None) -> None:
-        """Close the request (idempotent); feeds the registry's histograms."""
+        """Close the request (idempotent); feeds the registry's histograms.
+
+        A request must finish with no child span still open — every layer
+        that ``begin``\\ s a span owns a ``finally`` that ``end``\\ s it, even
+        on error paths.  Leftovers are reported to the registry's
+        ``span_leaks`` ledger, which the sanitizer's span-balance check
+        turns into a hard failure.
+        """
         if self.finished_at is not None:
             return
         self.finished_at = self.engine.now
         self.error = error
         if self.tracer is not None and self.root is not None:
+            leaked = [s for s in self._stack if s is not self.root]
+            if leaked and self.registry is not None:
+                self.registry._span_leaked(self, leaked)
             self.tracer.span_end(
                 self.root, ios=self.ios, bytes=self.bytes,
                 error=(error.__class__.__name__ if error is not None else None),
@@ -170,16 +180,25 @@ class RequestRegistry:
         self.stats = StatSet("requests")
         self.inflight = TimeWeighted(engine, 0)
         self.latency: dict[str, Histogram] = {}
+        #: Requests started but not yet completed, by id — the sanitizer's
+        #: span-balance check requires this to be empty at idle.
+        self.open: dict[int, IORequest] = {}
+        #: (request id, kind, leaked span names) for every request that
+        #: completed with a child span still open; must stay empty.
+        self.span_leaks: list[tuple[int, str, tuple[str, ...]]] = []
 
     def start(self, kind: str, origin: str = "", **fields: Any) -> IORequest:
         """Open a request of ``kind`` at the current simulated time."""
         self.stats.incr("started")
         self.stats.incr(f"{kind}_started")
         self.inflight.add(1)
-        return IORequest(self.engine, kind, tracer=self.tracer, registry=self,
-                         origin=origin, **fields)
+        req = IORequest(self.engine, kind, tracer=self.tracer, registry=self,
+                        origin=origin, **fields)
+        self.open[req.id] = req
+        return req
 
     def _finished(self, req: IORequest) -> None:
+        self.open.pop(req.id, None)
         self.inflight.add(-1)
         self.stats.incr("completed")
         self.stats.incr("ios", req.ios)
@@ -192,6 +211,12 @@ class RequestRegistry:
             hist = self.latency[req.kind] = Histogram(f"{req.kind}_latency")
         hist.observe(req.elapsed)
 
+    def _span_leaked(self, req: IORequest, leaked: "list[Any]") -> None:
+        self.stats.incr("span_leaks")
+        self.span_leaks.append(
+            (req.id, req.kind, tuple(s.name for s in leaked))
+        )
+
     def report(self) -> dict[str, Any]:
         """A plain-dict snapshot for benchmark reports / JSON dumps."""
         return {
@@ -200,3 +225,40 @@ class RequestRegistry:
             "inflight_max": self.inflight.maximum,
             "latency": {kind: h.summary() for kind, h in sorted(self.latency.items())},
         }
+
+    # -- phase-delta reporting ----------------------------------------------
+    def snapshot(self) -> "RegistrySnapshot":
+        """Freeze counters and per-kind histograms at a phase boundary."""
+        return RegistrySnapshot(
+            counts=dict(self.stats.as_dict()),
+            latency={k: h.snapshot() for k, h in self.latency.items()},
+        )
+
+    def report_since(self, snap: "RegistrySnapshot") -> dict[str, Any]:
+        """Like :meth:`report`, but covering only activity after ``snap``.
+
+        Benchmark phase tables use this so each phase reports its own
+        samples instead of mixing in every prior phase's.
+        """
+        counts = {
+            k: v - snap.counts.get(k, 0)
+            for k, v in self.stats.as_dict().items()
+            if v - snap.counts.get(k, 0)
+        }
+        latency: dict[str, dict[str, float]] = {}
+        for kind, hist in sorted(self.latency.items()):
+            prior = snap.latency.get(kind)
+            delta = hist.since(prior) if prior is not None else hist
+            if delta.count:
+                latency[kind] = delta.summary()
+        return {"counts": counts, "latency": latency}
+
+
+class RegistrySnapshot:
+    """Frozen registry state for :meth:`RequestRegistry.report_since`."""
+
+    __slots__ = ("counts", "latency")
+
+    def __init__(self, counts: dict[str, float], latency: dict[str, Any]):
+        self.counts = counts
+        self.latency = latency

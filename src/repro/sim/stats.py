@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -112,9 +113,64 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    # -- snapshot / delta ----------------------------------------------------
+    def snapshot(self) -> "HistogramSnapshot":
+        """Freeze the current state, for later :meth:`since` deltas.
+
+        Benchmarks take a snapshot at a phase boundary and report
+        ``hist.since(snap)`` so one phase's table is not contaminated by
+        samples from all the phases before it.
+        """
+        return HistogramSnapshot(
+            count=self.count, total=self.total, zeros=self._zeros,
+            buckets=dict(self._buckets),
+            minimum=self.minimum, maximum=self.maximum,
+        )
+
+    def since(self, snap: "HistogramSnapshot") -> "Histogram":
+        """A new histogram holding only the samples observed after ``snap``.
+
+        Counts, totals, and buckets subtract exactly.  min/max cannot be
+        recovered from bucket deltas, so they are approximated by the delta
+        buckets' edges (clamped to the lifetime maximum); percentiles keep
+        their usual bucket-upper-edge resolution.
+        """
+        delta = Histogram(self.name)
+        delta.count = self.count - snap.count
+        delta.total = self.total - snap.total
+        delta._zeros = self._zeros - snap.zeros
+        for idx, n in self._buckets.items():
+            d = n - snap.buckets.get(idx, 0)
+            if d:
+                delta._buckets[idx] = d
+        if delta.count > 0:
+            if delta._zeros > 0:
+                delta.minimum = 0.0
+            elif delta._buckets:
+                delta.minimum = 2.0 ** (min(delta._buckets) - 1)
+            if delta._buckets:
+                upper = 2.0 ** max(delta._buckets)
+                delta.maximum = (min(upper, self.maximum)
+                                 if self.maximum is not None else upper)
+            else:
+                delta.maximum = 0.0
+        return delta
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Histogram {self.name}: n={self.count} mean={self.mean:g} "
                 f"max={self.maximum}>")
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A frozen :class:`Histogram` state (see :meth:`Histogram.snapshot`)."""
+
+    count: int
+    total: float
+    zeros: int
+    buckets: dict[int, int]
+    minimum: "float | None"
+    maximum: "float | None"
 
 
 class TimeWeighted:
@@ -151,10 +207,19 @@ class TimeWeighted:
         self.set(self._value + delta)
 
     def average(self) -> float:
-        """Time-weighted mean from creation until now."""
+        """Time-weighted mean from creation (or :meth:`reset`) until now."""
         now = self.engine.now
         total = now - self._start
         if total <= 0:
             return self._value
         area = self._area + self._value * (now - self._last_change)
         return area / total
+
+    def reset(self) -> None:
+        """Restart the averaging window at the current time and value."""
+        now = self.engine.now
+        self._area = 0.0
+        self._start = now
+        self._last_change = now
+        self.minimum = self._value
+        self.maximum = self._value

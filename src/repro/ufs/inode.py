@@ -45,7 +45,8 @@ class Inode:
         self.inline_data: "bytes | None" = None
         self.readahead = ReadAheadState()
         self.writecluster = WriteClusterState()
-        self.throttle = WriteThrottle(mount.engine, mount.tuning.write_limit)
+        self.throttle = WriteThrottle(mount.engine, mount.tuning.write_limit,
+                                      owner=f"inode {ino}")
         self.bmap_cache = BmapCache() if mount.tuning.bmap_cache else None
         #: Blocks this file has allocated in its current preferred group,
         #: for the maxbpg group-spill policy.

@@ -415,13 +415,15 @@ def _push_range(vn: "UfsVnode", offset: int, length: int, async_: bool,
     wait_span = None
     if req is not None and waits:
         wait_span = req.begin("biowait", bufs=len(waits))
-    for done in waits:
-        try:
-            yield done
-        except EventFailed as failure:
-            errors.append(failure.args[0] if failure.args else failure)
-    if req is not None:
-        req.end(wait_span)
+    try:
+        for done in waits:
+            try:
+                yield done
+            except EventFailed as failure:
+                errors.append(failure.args[0] if failure.args else failure)
+    finally:
+        if req is not None:
+            req.end(wait_span)
     if errors:
         # Drain every wait before surfacing the first error, so no buf is
         # left with an unconsumed failure.
@@ -468,7 +470,7 @@ class _WriteIodone:
                 elif self.free and not page.referenced and not page.free:
                     self.pagecache.free(page)
             self.health.record_success()
-        self.throttle.credit(self.charged)
+        self.throttle.credit(self.charged, source=done_buf)
 
 
 def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
@@ -545,9 +547,13 @@ def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
         if req is not None and ip.throttle.enabled and ip.throttle.value < 0:
             throttle_span = req.begin("throttle_wait",
                                       over_by=-ip.throttle.value)
-        yield from ip.throttle.wait_ok()
-        if req is not None:
-            req.end(throttle_span)
+        try:
+            yield from ip.throttle.wait_ok()
+        finally:
+            # A torn-down wait (interrupt, failing event) must still close
+            # the span, or the request finishes with it open.
+            if req is not None:
+                req.end(throttle_span)
         return buf, run
     finally:
         if req is not None:

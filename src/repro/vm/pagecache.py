@@ -133,10 +133,14 @@ class PageCache:
         """
         self.stats.incr("memory_waits")
         span = req.begin("mem_wait", freemem=self.freemem) if req is not None else None
-        self.low_memory.fire()
-        yield self.memory_wanted.wait()
-        if req is not None:
-            req.end(span)
+        try:
+            self.low_memory.fire()
+            yield self.memory_wanted.wait()
+        finally:
+            # The wait can be torn down by an interrupt or a failing event;
+            # the span must close on every exit or the request leaks it.
+            if req is not None:
+                req.end(span)
 
     # -- freeing ----------------------------------------------------------------------
     def free(self, page: Page, front: bool = False) -> None:

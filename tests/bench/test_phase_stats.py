@@ -1,0 +1,74 @@
+"""Per-phase pipeline stats: each phase reports only its own samples.
+
+The contamination bug: IObench's phase tables were drawn from the
+registry's cumulative histograms, so FSU's "write latency" silently
+included every FSW sample, FSR's table included both write phases, and so
+on down the run.  The snapshot/delta API pins the fix: per-phase counts
+must partition the whole-run counts, and read requests must not appear in
+write-only phases.
+"""
+
+import pytest
+
+from repro.bench.iobench import PHASES, IObench
+from repro.disk import DiskGeometry
+from repro.kernel import SystemConfig
+from repro.units import KB, MB
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=200, heads=4,
+                                      sectors_per_track=32))
+    bench = IObench(cfg, file_size=1 * MB, random_ops=64)
+    return bench.run()
+
+
+def test_every_phase_reported(result):
+    assert set(result.pipeline["phases"]) == set(PHASES)
+
+
+def test_phase_counts_partition_the_run(result):
+    # The sum of per-phase deltas equals the whole-run counter for every
+    # request kind — nothing double-counted, nothing dropped.
+    whole = result.pipeline["requests"]["counts"]
+    for key in ("write_started", "read_started", "fsync_started"):
+        total = sum(p["counts"].get(key, 0)
+                    for p in result.pipeline["phases"].values())
+        assert total == whole.get(key, 0), key
+
+
+def test_write_phases_report_no_reads(result):
+    # FSW runs before any read phase; with cumulative histograms it could
+    # never have shown reads — but FSU/FRU ran *after* read phases, and
+    # the contamination bug leaked the read samples into their tables.
+    for phase in ("FSW", "FSU", "FRU"):
+        latency = result.pipeline["phases"][phase]["latency"]
+        assert "read" not in latency, phase
+
+
+def test_read_phases_report_reads_and_only_their_own(result):
+    fsr = result.pipeline["phases"]["FSR"]["latency"]
+    frr = result.pipeline["phases"]["FRR"]["latency"]
+    assert fsr["read"]["count"] > 0
+    assert frr["read"]["count"] > 0
+    whole = result.pipeline["requests"]["latency"]["read"]["count"]
+    assert fsr["read"]["count"] + frr["read"]["count"] == whole
+
+
+def test_phase_latency_counts_match_counts_table(result):
+    for phase, report in result.pipeline["phases"].items():
+        for kind, summary in report["latency"].items():
+            assert summary["count"] == report["counts"].get(
+                f"{kind}_started", 0), (phase, kind)
+
+
+def test_phase_histogram_bounds_are_local(result):
+    # A delta histogram's max cannot exceed the cumulative max, and its
+    # mean must be consistent with its own count/total.
+    whole = result.pipeline["requests"]["latency"]
+    for phase, report in result.pipeline["phases"].items():
+        for kind, summary in report["latency"].items():
+            assert summary["max"] <= whole[kind]["max"] * (1 + 1e-9)
+            assert summary["mean"] >= 0

@@ -1,0 +1,106 @@
+"""Engine.cancel liveness accounting, pinned by the sanitizer's invariant.
+
+The run-to-idle loop stops when ``_live`` (non-daemon, non-cancelled
+entries) hits zero.  Every path below asserts the same invariant the
+sanitizer's ``engine_liveness`` check enforces: ``_live`` equals
+``live_pending()`` — a drifted counter either wedges ``run()`` or stops
+it with work still pending.
+"""
+
+from repro.sim import Engine
+
+
+def assert_consistent(eng):
+    assert eng._live == eng.live_pending()
+
+
+def test_cancel_pending_entry_decrements_once():
+    eng = Engine()
+    entry = eng.schedule(1.0, lambda _: None)
+    assert eng._live == 1
+    eng.cancel(entry)
+    assert eng._live == 0
+    assert_consistent(eng)
+
+
+def test_double_cancel_is_a_noop():
+    eng = Engine()
+    entry = eng.schedule(1.0, lambda _: None)
+    eng.cancel(entry)
+    eng.cancel(entry)
+    assert eng._live == 0
+    assert_consistent(eng)
+
+
+def test_cancel_after_fire_does_not_double_decrement():
+    # The historical bug: cancelling an entry that already ran decremented
+    # _live a second time, making run-to-idle stop with work pending.
+    eng = Engine()
+    fired = []
+    entry = eng.schedule(1.0, fired.append, "a")
+    eng.schedule(2.0, fired.append, "b")
+    assert eng._live == 2
+    eng.step()  # fires "a"
+    assert fired == ["a"]
+    assert eng._live == 1
+    eng.cancel(entry)  # must be a no-op now
+    assert eng._live == 1
+    assert_consistent(eng)
+    eng.run()
+    assert fired == ["a", "b"]
+    assert eng._live == 0
+
+
+def test_cancel_after_fire_then_run_completes_remaining_work():
+    # With the double-decrement, this run() would stop before "late".
+    eng = Engine()
+    out = []
+    early = eng.schedule(1.0, out.append, "early")
+    eng.schedule(5.0, out.append, "late")
+    eng.step()
+    eng.cancel(early)
+    eng.run()
+    assert out == ["early", "late"]
+
+
+def test_cancelled_daemon_entry_never_counted():
+    eng = Engine()
+    entry = eng.schedule(1.0, lambda _: None, daemon=True)
+    assert eng._live == 0
+    eng.cancel(entry)
+    eng.cancel(entry)
+    assert eng._live == 0
+    assert_consistent(eng)
+
+
+def test_daemon_entries_do_not_hold_run_open():
+    eng = Engine()
+    ran = []
+    eng.schedule(1.0, ran.append, "work")
+    eng.schedule(50.0, ran.append, "daemon", daemon=True)
+    eng.run()
+    assert ran == ["work"]  # stopped at idle; daemon housekeeping skipped
+    assert eng._live == 0
+    assert_consistent(eng)
+
+
+def test_cancel_flips_entry_to_daemon_exactly_once():
+    # cancel() stops the entry counting toward liveness by flipping its
+    # daemon flag; a second cancel (or a later fire) must not flip again.
+    eng = Engine()
+    entry = eng.schedule(1.0, lambda _: None)
+    eng.cancel(entry)
+    assert entry.daemon and entry.cancelled
+    eng.cancel(entry)
+    assert eng._live == 0
+    eng.run()  # pops and discards the cancelled slot
+    assert eng._live == 0
+    assert_consistent(eng)
+
+
+def test_fired_flag_set_by_step():
+    eng = Engine()
+    entry = eng.schedule(1.0, lambda _: None)
+    assert not entry.fired
+    eng.run()
+    assert entry.fired

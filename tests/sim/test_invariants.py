@@ -1,0 +1,275 @@
+"""Tests for the cross-layer invariant sanitizer ("simsan").
+
+Each check gets two kinds of coverage: it passes on a healthy machine
+running a real workload, and it *fires* when the corresponding invariant
+is deliberately broken — a sanitizer that never fails is just overhead.
+"""
+
+import pytest
+
+from repro.disk import DiskGeometry
+from repro.kernel import Proc, System, SystemConfig
+from repro.sim import Sanitizer, SanitizerError
+from repro.sim.invariants import default_enabled
+from repro.units import KB
+
+
+def make_system(**overrides):
+    cfg = SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=200, heads=4,
+                                      sectors_per_track=32),
+        **overrides)
+    system = System.booted(cfg)
+    system.sanitizer.enabled = True
+    return system
+
+
+def write_file(system, path="/f", nbytes=64 * KB):
+    proc = Proc(system)
+
+    def work():
+        fd = yield from proc.creat(path)
+        yield from proc.write(fd, bytes(range(256)) * (nbytes // 256))
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(work())
+    return proc
+
+
+# -- the harness itself ------------------------------------------------------
+
+def test_env_switch_controls_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not default_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert default_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "off")
+    assert not default_enabled()
+
+
+def test_disabled_sanitizer_checks_nothing():
+    system = make_system()
+    system.sanitizer.enabled = False
+    before = system.sanitizer.checks_run
+    write_file(system)
+    assert system.sanitizer.checks_run == before
+
+
+def test_checkpoints_fire_at_quiesce_points():
+    system = make_system()
+    before = system.sanitizer.checkpoints
+    write_file(system)  # fsync checkpoint + post-run idle checkpoints
+    assert system.sanitizer.checkpoints > before
+    assert system.sanitizer.checks_run > 0
+
+
+def test_attach_every_runs_step_checkpoints():
+    system = make_system()
+    system.sanitizer.attach_every(10)
+    before = system.sanitizer.checkpoints
+    write_file(system)
+    assert system.sanitizer.checkpoints - before > 5  # many engine steps
+
+
+def test_healthy_workload_passes_deep_checkpoint():
+    system = make_system()
+    write_file(system)
+    system.sync()
+    system.sanitizer.checkpoint("test_deep", idle=True, deep=True)
+
+
+def test_error_carries_check_name():
+    err = SanitizerError("buf_balance", "boom")
+    assert "[simsan:buf_balance]" in str(err)
+    assert err.check == "buf_balance"
+    assert err.span_tree is None
+
+
+# -- check 1: engine liveness ------------------------------------------------
+
+def test_liveness_check_catches_drifted_counter():
+    system = make_system()
+    system.engine._live += 1  # simulate a double-count bug
+    with pytest.raises(SanitizerError, match="engine_liveness"):
+        system.sanitizer.checkpoint("test", idle=False)
+    system.engine._live -= 1
+    system.sanitizer.checkpoint("test", idle=True)  # healthy again
+
+
+def test_liveness_check_catches_nonzero_live_at_idle():
+    system = make_system()
+    # _live matches the heap (one pending entry) but "idle" was claimed.
+    system.engine.schedule(1.0, lambda _: None)
+    with pytest.raises(SanitizerError, match="idle with _live"):
+        system.sanitizer.checkpoint("test", idle=True)
+
+
+# -- check 2: buf balance ----------------------------------------------------
+
+def test_buf_balance_catches_leaked_buf():
+    from repro.disk import Buf, BufOp
+
+    system = make_system()
+    buf = Buf(system.engine, BufOp.READ, 8, 2, owner="leak-test")
+    system.driver.outstanding[buf.id] = buf  # issued, never completed
+    with pytest.raises(SanitizerError, match="never completed"):
+        system.sanitizer.checkpoint("test", idle=True)
+
+
+def test_buf_balance_catches_count_drift():
+    system = make_system()
+    system.driver.stats.incr("tracked_issued")  # issue with no completion
+    with pytest.raises(SanitizerError, match="completions recorded"):
+        system.sanitizer.checkpoint("test", idle=True)
+
+
+def test_buf_double_complete_is_reported():
+    from repro.disk import Buf, BufOp
+    from repro.sim import SimulationError
+
+    system = make_system()
+    buf = Buf(system.engine, BufOp.READ, 8, 2, owner="dup-test")
+    buf.complete()
+    with pytest.raises(SimulationError, match="completed twice"):
+        buf.complete()
+
+
+# -- check 3: throttle conservation ------------------------------------------
+
+def test_throttle_check_catches_leaked_slot():
+    system = make_system()
+    proc = write_file(system)
+
+    def leak():
+        vn = yield from system.mount.namei("/f")
+        vn.inode.throttle.take(4096)  # charged, never credited
+
+    system.engine.run_process(leak())  # bypass System.run's checkpoint
+    with pytest.raises(SanitizerError, match="never credited them back"):
+        system.sanitizer.checkpoint("test", idle=True)
+    assert proc  # keep the workload's proc alive for namei
+
+
+def test_throttle_check_skips_disabled_throttles():
+    # Config D (the old system) runs with write_limit=0: take/credit are
+    # no-ops, so no conservation claim exists to check.
+    cfg = SystemConfig.config_d().with_(
+        geometry=DiskGeometry.uniform(cylinders=200, heads=4,
+                                      sectors_per_track=32))
+    system = System.booted(cfg)
+    system.sanitizer.enabled = True
+    write_file(system)
+    system.sanitizer.checkpoint("test", idle=True)
+
+
+# -- check 4: request/span balance -------------------------------------------
+
+def test_span_check_catches_recorded_leak():
+    system = make_system()
+    system.requests.span_leaks.append((7, "write", ("throttle_wait",)))
+    with pytest.raises(SanitizerError, match="finished with open span"):
+        system.sanitizer.checkpoint("test", idle=False)
+
+
+def test_span_check_catches_open_request_at_idle():
+    system = make_system()
+    req = system.requests.start("write")
+    with pytest.raises(SanitizerError, match="still open at idle"):
+        system.sanitizer.checkpoint("test", idle=True)
+    req.complete()
+
+
+def test_request_leaking_span_is_ledgered():
+    system = make_system()
+    system.tracer.enabled = True
+    req = system.requests.start("write")
+    req.begin("getpage")  # never ended
+    req.complete()
+    system.tracer.enabled = False
+    assert system.requests.span_leaks
+    rid, kind, names = system.requests.span_leaks[0]
+    assert kind == "write" and "getpage" in names
+
+
+# -- check 5: page coherency -------------------------------------------------
+
+def test_page_coherency_catches_corrupted_clean_page():
+    system = make_system()
+    write_file(system)
+
+    def corrupt():
+        vn = yield from system.mount.namei("/f")
+        page = system.pagecache.vnode_pages(vn)[0]
+        page.data[0] ^= 0xFF  # memory no longer matches disk, page "clean"
+
+    system.engine.run_process(corrupt())
+    with pytest.raises(SanitizerError, match="differs from disk"):
+        system.sanitizer.checkpoint("test", idle=True)
+
+
+# -- check 6: allocator ------------------------------------------------------
+
+def test_allocator_catches_counter_drift():
+    system = make_system()
+    write_file(system)
+    system.mount.cgs[0].nbfree += 1
+    with pytest.raises(SanitizerError, match="bitmap shows"):
+        system.sanitizer.checkpoint("test", idle=True)
+    system.mount.cgs[0].nbfree -= 1
+
+
+def test_allocator_catches_freed_but_claimed_fragment():
+    system = make_system()
+    write_file(system)
+
+    def free_claimed():
+        vn = yield from system.mount.namei("/f")
+        ip = vn.inode
+        sb = system.mount.sb
+        addr = next(a for a in ip.direct if a)
+        cgx = addr // sb.fpg
+        cg = system.mount.cgs[cgx]
+        rel = addr - sb.cgbase(cgx)
+        for i in range(sb.frag):
+            cg.set_frag(rel + i, free=True)
+        # Keep the counters consistent with the bitmap so the *claims*
+        # check (not the recount) is what fires.
+        cg.nbfree += 1
+        sb.cs_nbfree += 1
+
+    system.engine.run_process(free_claimed())
+    with pytest.raises(SanitizerError, match="marks it free"):
+        system.sanitizer.checkpoint("test", idle=True)
+
+
+def test_deep_allocator_runs_fsck():
+    system = make_system()
+    write_file(system)
+    system.sync()
+    before = system.sanitizer.checks_run
+    system.sanitizer.checkpoint("test", idle=True, deep=True)
+    assert system.sanitizer.checks_run > before
+
+
+def test_nfs_throttles_via_throttle_sources():
+    from repro.core import WriteThrottle
+
+    system = make_system()
+    throttle = WriteThrottle(system.engine, 8 * KB, owner="extra file")
+    system.sanitizer.throttle_sources.append(
+        lambda: [("extra file", throttle)])
+    system.sanitizer.checkpoint("test", idle=True)  # drained: fine
+    throttle.take(4 * KB)
+    with pytest.raises(SanitizerError, match="extra file"):
+        system.sanitizer.checkpoint("test", idle=True)
+
+
+def test_sanitizer_constructor_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    system = make_system()  # re-enables explicitly
+    assert system.sanitizer.enabled
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Sanitizer(system).enabled
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not Sanitizer(system).enabled
