@@ -7,11 +7,17 @@ Commands:
 * ``cpubench`` — the figure 12 CPU comparison;
 * ``musbus [--users 4]`` — the timesharing mix;
 * ``traces`` — print the figure 3/6/7 event-trace diagrams;
-* ``faultcampaign [--cuts 50] [--seed 0]`` — seeded power-cut
-  crash-consistency sweep (fault injection + fsck repair);
-* ``netcampaign [--seeds 20] [--seed 0]`` — seeded network-fault sweep
-  over NFS (drops/duplicates/corruption/partitions/server reboots against
-  the RPC hardening: no lost acknowledged writes, exactly-once mutations);
+* ``faultcampaign [--cuts 50] [--seed 0] [--json PATH]`` — seeded
+  power-cut crash-consistency sweep (fault injection + fsck repair);
+* ``netcampaign [--seeds 20] [--seed 0] [--json PATH]`` — seeded
+  network-fault sweep over NFS (drops/duplicates/corruption/partitions/
+  server reboots against the RPC hardening: no lost acknowledged writes,
+  exactly-once mutations);
+* ``crashpoints [--preset smoke] [--seed 0] [--json PATH]`` — exhaustive
+  crash-state exploration: record a workload over a volatile write cache,
+  enumerate every bounded-legal crash state (cache subsets × torn
+  destages), fsck-repair and remount each distinct image, and hold every
+  acknowledged durability point to its word;
 * ``simcheck [--file-mb 4]`` — the determinism differ: run IObench twice
   with the sanitizer on and demand identical stable trace digests;
 * ``demo`` — a short guided tour (quickstart + fsck).
@@ -131,6 +137,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json(path: str, document: dict) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
 def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     from repro.faults import CrashCampaign
 
@@ -147,6 +162,8 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
         for record in campaign.trace_records:
             if record.tag == "power_cut":
                 print(record.describe())
+    if args.json:
+        _write_json(args.json, campaign.to_json())
     failed = (stats.silent_corruptions > 0
               or stats.clean_after_repair < stats.cuts)
     if failed:
@@ -166,6 +183,8 @@ def _cmd_netcampaign(args: argparse.Namespace) -> int:
           f"(base seed={args.seed}) over an NFS workload...")
     stats = campaign.run()
     print(stats)
+    if args.json:
+        _write_json(args.json, campaign.to_json())
     if not stats.ok:
         print("FAILED: an RPC-hardening invariant was violated")
         return 1
@@ -173,6 +192,46 @@ def _cmd_netcampaign(args: argparse.Namespace) -> int:
         print("FAILED: the sweep never exercised retransmission / the "
               "duplicate-request cache (fault injection inert?)")
         return 1
+    return 0
+
+
+def _cmd_crashpoints(args: argparse.Namespace) -> int:
+    from repro.faults import PRESETS, run_crashpoints
+
+    preset = PRESETS.get(args.preset)
+    if preset is None:
+        print(f"crashpoints: unknown preset {args.preset!r} "
+              f"(have {', '.join(sorted(PRESETS))})", file=sys.stderr)
+        return 2
+    print(f"exploring crash states of preset {preset.name!r} "
+          f"(seed={args.seed}): {preset.description}...")
+    report = run_crashpoints(
+        preset=args.preset, seed=args.seed,
+        sanitize=True if args.sanitize else None,
+        max_states=args.max_states,
+        json_path=args.json or None)
+    d = report.to_json()
+    for key in ("journal_events", "contract_events", "durability_points",
+                "crash_points", "raw_states", "distinct_states",
+                "fsck_repairs"):
+        print(f"{key:22} {d[key]}")
+    print(f"{'digest':22} {report.digest}")
+    if report.states_truncated:
+        print(f"NOTE: enumeration truncated at --max-states="
+              f"{args.max_states}; coverage is partial")
+    if args.json:
+        print(f"wrote {args.json}")
+    if not report.ok:
+        print(f"FAILED: {len(report.violations)} durability-contract "
+              "violation(s)")
+        for v in report.violations[:10]:
+            print(f"  [{v.category}] {v.detail} (crash point "
+                  f"{v.event_index}, torn={v.torn})")
+            for span in v.spans[:1]:
+                print("    " + span.replace("\n", "\n    "))
+        return 1
+    print("OK: every distinct crash state repaired, remounted, and kept "
+          "its durability promises")
     return 0
 
 
@@ -237,6 +296,8 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="print a per-cut trace summary")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write per-cut outcomes and repair actions to PATH")
     p.set_defaults(fn=_cmd_faultcampaign)
 
     p = sub.add_parser("netcampaign",
@@ -247,7 +308,26 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="base seed (schedules use seed..seed+seeds-1)")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write per-seed outcomes to PATH")
     p.set_defaults(fn=_cmd_netcampaign)
+
+    p = sub.add_parser("crashpoints",
+                       help="exhaustive crash-state exploration over a "
+                            "volatile write cache")
+    p.add_argument("--preset", default="smoke",
+                   help="workload preset (default smoke; see "
+                        "repro.faults.crashpoints.PRESETS)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="payload seed (default 0)")
+    p.add_argument("--max-states", type=int, default=20000,
+                   help="raw crash-state budget (default 20000)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the cross-layer invariant sanitizer on "
+                        "(recording and every survivor)")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write the full report (violations included) to PATH")
+    p.set_defaults(fn=_cmd_crashpoints)
 
     p = sub.add_parser("simcheck",
                        help="determinism differ + sanitized benchmark run")

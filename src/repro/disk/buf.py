@@ -26,6 +26,9 @@ class BufOp(enum.Enum):
 
     READ = "read"
     WRITE = "write"
+    #: A cache-flush command: no data, drains the drive's volatile write
+    #: cache to the media before completing.
+    FLUSH = "flush"
 
 
 class Buf:
@@ -33,19 +36,24 @@ class Buf:
 
     Flags mirror the kernel's: ``async_`` is B_ASYNC (caller does not wait),
     ``ordered`` is the paper's proposed B_ORDER barrier (may not be reordered
-    by disksort, the driver, or the controller).
+    by disksort, the driver, or the controller), and ``fua`` is force unit
+    access — the write bypasses any volatile write cache and is durable on
+    the media when it completes.
     """
 
     __slots__ = (
-        "id", "op", "sector", "nsectors", "data", "async_", "ordered",
+        "id", "op", "sector", "nsectors", "data", "async_", "ordered", "fua",
         "done", "iodone", "owner", "issued_at", "started_at", "finished_at",
         "children", "error", "request", "parent_span",
     )
 
     def __init__(self, engine: "Engine", op: BufOp, sector: int, nsectors: int,
                  data: bytes | None = None, async_: bool = False,
-                 ordered: bool = False, owner: str = ""):
-        if nsectors <= 0:
+                 ordered: bool = False, fua: bool = False, owner: str = ""):
+        if op is BufOp.FLUSH:
+            if nsectors != 0 or data is not None:
+                raise ValueError("flush buf carries no sectors or data")
+        elif nsectors <= 0:
             raise ValueError("nsectors must be positive")
         if sector < 0:
             raise ValueError("sector must be >= 0")
@@ -58,6 +66,7 @@ class Buf:
         self.data = data
         self.async_ = async_
         self.ordered = ordered
+        self.fua = fua
         self.done: Event = Event(engine, name=f"buf{self.id}.done")
         self.iodone: list[Callable[["Buf"], None]] = []
         self.owner = owner
@@ -93,6 +102,18 @@ class Buf:
     def is_write(self) -> bool:
         return self.op is BufOp.WRITE
 
+    @property
+    def is_flush(self) -> bool:
+        return self.op is BufOp.FLUSH
+
+    @classmethod
+    def flush(cls, engine: "Engine", async_: bool = False,
+              owner: str = "") -> "Buf":
+        """A FLUSH command: an ordered, zero-length barrier that drains the
+        drive's volatile write cache (queued behind everything pending)."""
+        return cls(engine, BufOp.FLUSH, 0, 0, async_=async_, ordered=True,
+                   owner=owner)
+
     def adjacent_to(self, other: "Buf") -> bool:
         """True if this request is contiguous with ``other`` (either side)."""
         return self.end_sector == other.sector or other.end_sector == self.sector
@@ -123,7 +144,9 @@ class Buf:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(
-            flag for flag, on in (("A", self.async_), ("O", self.ordered)) if on
+            flag for flag, on in (
+                ("A", self.async_), ("O", self.ordered), ("F", self.fua),
+            ) if on
         )
         return (
             f"<Buf#{self.id} {self.op.value} sec={self.sector}+{self.nsectors}"

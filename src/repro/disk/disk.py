@@ -20,6 +20,13 @@ time.  Servicing a request walks it track by track:
 Writes are write-through (the paper's footnote 5: acknowledging a write from
 the buffer would break the stable-storage promise) and invalidate the buffer,
 since the head moves and look-ahead stops.
+
+With a :class:`~repro.disk.wcache.VolatileWriteCache` attached, the disk
+instead models the drive footnote 5 warns about: non-FUA writes are
+acknowledged after the bus transfer and sit volatile until a FLUSH command,
+a force-unit-access write, or capacity pressure destages them (paying the
+real media time then).  Reads see the cache contents through an overlay.
+A power cut drops whatever is volatile.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.sim.stats import StatSet
 from repro.units import MB, MS
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.disk.wcache import VolatileWriteCache
     from repro.faults.plan import FaultPlan
     from repro.sim.engine import Engine
 
@@ -125,7 +133,8 @@ class RotationalDisk:
                  bus_rate: float = 2.5 * MB,
                  controller_overhead: float = 0.7 * MS,
                  buffer_hit_overhead: float = 0.3 * MS,
-                 fault_plan: "FaultPlan | None" = None):
+                 fault_plan: "FaultPlan | None" = None,
+                 write_cache: "VolatileWriteCache | None" = None):
         self.engine = engine
         self.geometry = geometry if geometry is not None else DiskGeometry.ibm_400mb()
         self.store = store if store is not None else DiskStore(
@@ -140,6 +149,9 @@ class RotationalDisk:
         self.track_buffer = TrackBuffer(self.geometry)
         #: Optional injected fault schedule (see repro.faults.FaultPlan).
         self.fault_plan = fault_plan
+        #: Optional volatile write cache (see repro.disk.wcache); None keeps
+        #: the paper's write-through semantics.
+        self.write_cache = write_cache
         self.stats = StatSet("disk")
         self._cyl = 0
         self._head = 0
@@ -155,16 +167,29 @@ class RotationalDisk:
         geom = self.geometry
         buf.started_at = engine.now
         self.stats.incr("requests")
-        self.stats.incr("reads" if buf.is_read else "writes")
-        self.stats.incr("sectors", buf.nsectors)
+        if buf.is_flush:
+            self.stats.incr("flushes")
+        else:
+            self.stats.incr("reads" if buf.is_read else "writes")
+            self.stats.incr("sectors", buf.nsectors)
 
         if self.fault_plan is not None:
             decision = self.fault_plan.decide(buf, engine.now)
             if decision is not None:
                 yield from self._fail(buf, decision)
 
-        if buf.is_write:
-            # The head moves and look-ahead stops; be conservative.
+        if buf.is_flush:
+            yield engine.timeout(self.controller_overhead)
+            yield from self._service_flush(buf)
+            return
+
+        cache = self.write_cache
+        cached = cache is not None and buf.is_write and not buf.fua
+
+        if buf.is_write and not cached:
+            # The head moves and look-ahead stops; be conservative.  (A
+            # cached write never touches the media here, so look-ahead
+            # survives it — one of the ways a volatile cache "helps".)
             self.track_buffer.invalidate()
 
         # Per-request controller/command overhead.
@@ -176,6 +201,28 @@ class RotationalDisk:
             raise ValueError(
                 f"request [{sector}, {sector + remaining}) beyond end of disk"
             )
+
+        if cached:
+            assert cache is not None and buf.data is not None
+            if len(buf.data) != buf.nbytes:
+                raise ValueError(
+                    f"write buf data length {len(buf.data)} != {buf.nbytes}"
+                )
+            # The forbidden fast ack: bus transfer only, no media time.
+            yield engine.timeout(buf.nbytes / self.bus_rate)
+            plan = self.fault_plan
+            if plan is not None and plan.cuts_power_during(buf.started_at,
+                                                           engine.now):
+                # Cut during the host transfer: nothing reached the cache.
+                self._power_died(plan)
+            cache.write(buf)
+            self.stats.incr("cached_writes")
+            # Capacity pressure destages oldest-first, charged to this
+            # request (the drive stalls the host while it makes room).
+            while cache.over_limit:
+                yield from self._destage_head(buf)
+            return
+
         first_segment = True
         while remaining > 0:
             if (
@@ -215,14 +262,11 @@ class RotationalDisk:
                 self.stats.incr("torn_writes")
                 plan.stats.incr("torn_writes")
                 plan.stats.incr("torn_sectors_lost", buf.nsectors - durable)
-            plan.powered_off = True
-            plan.stats.incr("power_faults")
-            raise PowerLossError(
-                f"power lost at t={plan.power_cut_time:.6f} mid-request")
+            self._power_died(plan)
 
         # Data plane: move the real bytes.
         if buf.is_read:
-            buf.data = self.store.read(buf.sector, buf.nsectors)
+            buf.data = self.read_through(buf.sector, buf.nsectors)
         else:
             assert buf.data is not None
             if len(buf.data) != buf.nbytes:
@@ -230,8 +274,76 @@ class RotationalDisk:
                     f"write buf data length {len(buf.data)} != {buf.nbytes}"
                 )
             self.store.write(buf.sector, buf.data)
+            if cache is not None:
+                cache.note_fua(buf)
+
+    def read_through(self, sector: int, nsectors: int) -> bytes:
+        """The drive-visible bytes: durable store plus the volatile cache
+        overlay.  Pure data plane (no timing) — also the view the sanitizer
+        uses for coherency checks."""
+        data = self.store.read(sector, nsectors)
+        if self.write_cache is not None:
+            data = self.write_cache.overlay(sector, nsectors, data)
+        return data
 
     # -- internals ------------------------------------------------------------
+    def _power_died(self, plan: "FaultPlan") -> None:
+        """Power is gone: volatile contents die, durable state freezes."""
+        if self.write_cache is not None:
+            lost = self.write_cache.drop_all()
+            self.stats.incr("cache_dropped_bytes", lost)
+        plan.powered_off = True
+        plan.stats.incr("power_faults")
+        raise PowerLossError(
+            f"power lost at t={plan.power_cut_time:.6f} mid-request")
+
+    def _destage_head(self, host_buf: Buf) -> Generator[Event, Any, None]:
+        """Write the cache's oldest entry to the media (real media time,
+        charged to ``host_buf``'s service), then commit it durable."""
+        cache = self.write_cache
+        assert cache is not None and cache.entries
+        engine = self.engine
+        geom = self.geometry
+        entry = cache.entries[0]
+        self.track_buffer.invalidate()
+        start = engine.now
+        sector = entry.sector
+        remaining = entry.nsectors
+        while remaining > 0:
+            cyl, head, idx = geom.to_chs(sector)
+            spt = geom.sectors_per_track_at(cyl)
+            run = min(remaining, spt - idx)
+            yield from self._media_access(host_buf, cyl, head, idx, run)
+            self._cyl, self._head = cyl, head
+            sector += run
+            remaining -= run
+        plan = self.fault_plan
+        if plan is not None and plan.cuts_power_during(start, engine.now):
+            # The destage itself tears at a sector boundary; every other
+            # volatile entry is simply gone.
+            durable = plan.torn_prefix_sectors(entry, start, engine.now)
+            if durable > 0:
+                self.store.write(entry.sector,
+                                 entry.data[:durable * geom.sector_size])
+            self.stats.incr("torn_writes")
+            plan.stats.incr("torn_writes")
+            plan.stats.incr("torn_sectors_lost", entry.nsectors - durable)
+            self._power_died(plan)
+        cache.destage_head()
+
+    def _service_flush(self, buf: Buf) -> Generator[Event, Any, None]:
+        """Drain the volatile cache to the media, oldest entry first."""
+        cache = self.write_cache
+        if cache is not None:
+            while cache.entries:
+                yield from self._destage_head(buf)
+        plan = self.fault_plan
+        if plan is not None and plan.cuts_power_during(buf.started_at,
+                                                       self.engine.now):
+            self._power_died(plan)
+        if cache is not None:
+            cache.note_flush()
+
     def _fail(self, buf: Buf, decision: Any) -> Generator[Event, Any, None]:
         """Charge the time an injected failure costs, then raise its error."""
         from repro.faults.plan import FaultKind
@@ -239,7 +351,11 @@ class RotationalDisk:
         engine = self.engine
         self.stats.incr("faulted_requests")
         if decision.kind is FaultKind.POWER:
-            raise decision.error  # the electronics are dead: instant failure
+            # The electronics are dead: instant failure, volatile cache gone.
+            if self.write_cache is not None and self.write_cache.entries:
+                lost = self.write_cache.drop_all()
+                self.stats.incr("cache_dropped_bytes", lost)
+            raise decision.error
         if decision.kind is FaultKind.TIMEOUT:
             # The controller goes silent; the request hangs before the
             # driver sees the failure.

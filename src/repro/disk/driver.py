@@ -18,7 +18,7 @@ Two paper-relevant options:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.disk.buf import Buf, BufOp
 from repro.disk.disk import RotationalDisk
@@ -98,6 +98,25 @@ class DiskQueue:
         self.scheduler.forget(buf)
         return buf
 
+    def snapshot(self) -> Any:
+        """Deep-enough copy of the queue: barrier segment boundaries, the
+        bufs in each segment, the length, and the scheduler's accounting.
+        The bufs themselves are shared (they are identity objects)."""
+        return (
+            [(kind, list(seg)) for kind, seg in self._segments],
+            self._length,
+            self.scheduler.snapshot(),
+        )
+
+    def restore(self, state: Any) -> None:
+        """Return the queue to a :meth:`snapshot`, segment boundaries and
+        all.  The snapshot stays valid — restoring it again later yields
+        the same state regardless of mutations in between."""
+        segments, length, sched_state = state
+        self._segments = [(kind, list(seg)) for kind, seg in segments]
+        self._length = length
+        self.scheduler.restore(sched_state)
+
     def peek_all(self, last_sector: int = 0, now: float = 0.0) -> list[Buf]:
         """All queued bufs **in predicted service order**, without popping.
 
@@ -107,24 +126,17 @@ class DiskQueue:
         advancing to the served buf's end).  The queue and the scheduler's
         internal accounting (e.g. elevator pass counts) are left untouched.
         """
-        state = self.scheduler.snapshot()
-        segments = [(kind, list(seg)) for kind, seg in self._segments]
+        state = self.snapshot()
         order: list[Buf] = []
         try:
-            while segments:
-                if not segments[0][1]:
-                    segments.pop(0)
-                    continue
-                kind, seg = segments[0]
-                if kind == "barrier":
-                    buf = seg.pop(0)
-                else:
-                    buf = seg.pop(self.scheduler.select(seg, last_sector, now))
-                self.scheduler.forget(buf)
+            while True:
+                buf = self.pop(last_sector, now)
+                if buf is None:
+                    break
                 order.append(buf)
                 last_sector = buf.end_sector
         finally:
-            self.scheduler.restore(state)
+            self.restore(state)
         return order
 
     def find_adjacent(self, buf: Buf, max_sectors: int) -> Buf | None:
@@ -235,6 +247,24 @@ class DiskDriver:
         self.queue_depth.set(len(self.queue) + (1 if self._busy else 0))
         self._work.fire()
         return buf
+
+    def issue_flush(self, owner: str = "flush",
+                    request: "Any | None" = None) -> Buf | None:
+        """Queue a FLUSH command behind everything pending.
+
+        Returns the flush buf (wait on ``buf.done`` for the durability
+        point), or None when the disk has no volatile write cache — the
+        stack is write-through and every completed write is already
+        durable, so the command would be a no-op.
+        """
+        if self.disk.write_cache is None:
+            return None
+        buf = Buf.flush(self.engine, owner=owner)
+        if request is not None:
+            buf.request = request
+            buf.parent_span = getattr(request, "current_span", None)
+        self.stats.incr("flushes")
+        return self.strategy(buf)
 
     @property
     def idle(self) -> bool:

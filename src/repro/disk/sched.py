@@ -122,7 +122,11 @@ class ElevatorScheduler(Scheduler):
         return dict(self._passes)
 
     def restore(self, state: Any) -> None:
-        self._passes = state
+        # Copy: adopting the snapshot dict itself would let later mutations
+        # bleed into it, so restoring the same snapshot twice (as nested
+        # peeks or queue save/restore cycles do) would replay the first
+        # restore's mutations instead of the saved state.
+        self._passes = dict(state)
 
 
 class DeadlineScheduler(ElevatorScheduler):

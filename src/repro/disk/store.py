@@ -61,6 +61,23 @@ class DiskStore:
         dup._sectors = dict(self._sectors)
         return dup
 
+    def digest(self) -> str:
+        """Canonical content hash of the full image.
+
+        Zero sectors never appear in ``_sectors`` (``write`` pops them), so
+        hashing the sorted sparse population is a canonical form: two stores
+        hold the same bytes iff their digests match.  The crash-point
+        explorer uses this to dedup equivalent crash states.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"{self.total_sectors}:{self.sector_size}".encode())
+        for sector in sorted(self._sectors):
+            h.update(f"|{sector}:".encode())
+            h.update(self._sectors[sector])
+        return h.hexdigest()
+
     @property
     def written_sectors(self) -> int:
         """Number of sectors holding non-zero data (sparse population)."""

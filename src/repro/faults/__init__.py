@@ -19,10 +19,17 @@ The fault model lives in two layers per medium:
   NFS create/write/fsync/remove workload, asserting no acknowledged write
   is ever lost, mutations stay exactly-once, and corrupt bytes never reach
   the client's page cache.
+* :class:`CrashpointExplorer` — the exhaustive sibling of CrashCampaign:
+  records a workload over a volatile write cache, then enumerates every
+  bounded-legal crash state (cache subsets × torn destages) and verifies
+  the durability contract on each distinct image.
 """
 
 from repro.faults.campaign import (
     CampaignStats, CrashCampaign, default_campaign_config,
+)
+from repro.faults.crashpoints import (
+    CrashpointExplorer, CrashpointReport, PRESETS, run_crashpoints,
 )
 from repro.faults.netcampaign import NetCampaign, NetCampaignStats
 from repro.faults.netplan import NetDecision, NetFaultPlan
@@ -31,6 +38,10 @@ from repro.faults.plan import FaultDecision, FaultKind, FaultPlan
 __all__ = [
     "CampaignStats",
     "CrashCampaign",
+    "CrashpointExplorer",
+    "CrashpointReport",
+    "PRESETS",
+    "run_crashpoints",
     "FaultDecision",
     "FaultKind",
     "FaultPlan",

@@ -94,6 +94,9 @@ class CrashCampaign:
         #: The same numbers as a StatSet, for sim/stats consumers.
         self.statset = StatSet("campaign")
         self.trace_records: "list[TraceRecord]" = []
+        #: One dict per cut (seeded outcome + fsck repair actions),
+        #: JSON-ready; filled by :meth:`run`.
+        self.records: "list[dict]" = []
 
     # -- the doomed workload -------------------------------------------------
     def _payload(self, i: int) -> bytes:
@@ -196,6 +199,7 @@ class CrashCampaign:
             if self.sanitize is not None:
                 survivor.sanitizer.enabled = self.sanitize
             proc = Proc(survivor)
+            cut_corruptions = 0
             for path in sorted(durable):
                 expect = durable[path]
                 try:
@@ -207,13 +211,27 @@ class CrashCampaign:
                 except (ReproError, SimulationError):
                     got = None
                 if got != expect:
-                    s.silent_corruptions += 1
+                    cut_corruptions += 1
+            s.silent_corruptions += cut_corruptions
             # The survivor is quiesced and its store fsck-repaired: a full
             # (deep) sweep must find the machine and the disk consistent.
             survivor.sanitizer.checkpoint("campaign_survivor", idle=True,
                                           deep=True)
             s.data_bytes_lost += state["written"] - sum(
                 len(v) for v in durable.values())
+            self.records.append({
+                "cut_index": len(self.records),
+                "cut_time": cut,
+                "faults_injected": int(plan.stats["power_faults"]),
+                "torn_writes": int(plan.stats["torn_writes"]),
+                "findings": [str(f) for f in report.findings],
+                "repairs": [str(r) for r in report.repairs],
+                "clean_after_repair": bool(verify.clean),
+                "silent_corruptions": cut_corruptions,
+                "durable_files_checked": len(durable),
+                "data_bytes_at_risk": state["written"] - sum(
+                    len(v) for v in durable.values()),
+            })
             if self.trace:
                 self.trace_records.extend(system.tracer.records)
                 self.trace_records.append(TraceRecord(
@@ -225,3 +243,14 @@ class CrashCampaign:
         for key, value in s.as_dict().items():
             self.statset.incr(key, value)
         return s
+
+    def to_json(self) -> dict:
+        """The sweep as one JSON-ready document (stats + per-cut records)."""
+        s = self.stats
+        return {
+            "seed": self.seed,
+            "stats": s.as_dict(),
+            "cuts": self.records,
+            "ok": (s.silent_corruptions == 0
+                   and s.clean_after_repair == s.cuts),
+        }

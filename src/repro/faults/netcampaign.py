@@ -117,6 +117,9 @@ class NetCampaign:
         #: The same numbers as a StatSet, for sim/stats consumers.
         self.statset = StatSet("netcampaign")
         self._window: "tuple[float, float] | None" = None
+        #: One dict per seeded run (fault schedule + verdict), JSON-ready;
+        #: filled by :meth:`run`.
+        self.records: "list[dict]" = []
 
     # -- the workload --------------------------------------------------------
     def _payload(self, i: int) -> bytes:
@@ -305,8 +308,34 @@ class NetCampaign:
                 # mutation exactly-once; after a cold start re-execution is
                 # possible by design (content checks above still apply).
                 s.duplicate_side_effects += int(srv["duplicate_executions"])
+            self.records.append({
+                "seed": seed,
+                "drops": int(plan.stats["drops"]),
+                "duplicates": int(plan.stats["duplicates"]),
+                "corruptions": int(plan.stats["corrupts"]),
+                "reorders": int(plan.stats["reorders"]),
+                "partition_drops": int(plan.stats["partition_drops"]),
+                "server_reboots": int(srv["reboots"]),
+                "retransmits": int(mstats["retransmits"]),
+                "rpc_timeouts": int(mstats["rpc_timeouts"]),
+                "drc_hits": int(srv["drc_hits"]),
+                "acked_files": len(state["durable"]),
+                "removes": len(state["removed"]),
+                "lost_acked_writes": result["lost"],
+                "corrupt_cache_serves": result["corrupt_serves"],
+                "remove_violations": result["remove_violations"],
+            })
         if not self._soft_probe():
             s.soft_timeout_failures += 1
         for key, value in s.as_dict().items():
             self.statset.incr(key, value)
         return s
+
+    def to_json(self) -> dict:
+        """The sweep as one JSON-ready document (stats + per-seed records)."""
+        return {
+            "base_seed": self.base_seed,
+            "stats": self.stats.as_dict(),
+            "runs": self.records,
+            "ok": self.stats.ok,
+        }

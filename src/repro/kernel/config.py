@@ -48,6 +48,11 @@ class SystemConfig:
     costs: CostTable = field(default_factory=CostTable)
     metacache_blocks: int = 64
     ordered_metadata: bool = False  # B_ORDER future work
+    #: Model a drive with a volatile write cache (footnote 5's forbidden
+    #: fast ack): completed writes are durable only after a FLUSH, a FUA
+    #: write, or capacity destaging.  Off = the paper's write-through drive.
+    write_cache: bool = False
+    write_cache_bytes: int = 64 * KB
 
     def with_(self, **changes: object) -> "SystemConfig":
         return replace(self, **changes)  # type: ignore[arg-type]

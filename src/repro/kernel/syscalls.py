@@ -53,11 +53,13 @@ def _syscall(method):
 
 
 class _OpenFile:
-    __slots__ = ("vnode", "offset")
+    __slots__ = ("vnode", "offset", "sync")
 
-    def __init__(self, vnode: "Vnode"):
+    def __init__(self, vnode: "Vnode", sync: bool = False):
         self.vnode = vnode
         self.offset = 0
+        #: O_SYNC: every write is acknowledged only once durable.
+        self.sync = sync
 
 
 class Proc:
@@ -113,8 +115,13 @@ class Proc:
 
     # -- fd lifecycle --------------------------------------------------------
     @_syscall
-    def open(self, path: str, create: bool = False) -> Generator[Any, Any, int]:
-        """Open (optionally creating) a file; returns the fd."""
+    def open(self, path: str, create: bool = False,
+             sync: bool = False) -> Generator[Any, Any, int]:
+        """Open (optionally creating) a file; returns the fd.
+
+        ``sync=True`` is O_SYNC: every write through this fd is pushed
+        durable (data, inode, and a disk flush) before it returns.
+        """
         yield from self._charge_syscall()
         mount = self._mount
         try:
@@ -125,7 +132,7 @@ class Proc:
             vnode = yield from mount.create(path)
         fd = self._next_fd
         self._next_fd += 1
-        self._files[fd] = _OpenFile(vnode)
+        self._files[fd] = _OpenFile(vnode, sync=sync)
         return fd
 
     def creat(self, path: str) -> Generator[Any, Any, int]:
@@ -162,10 +169,15 @@ class Proc:
         req = self._request("write", fd=fd, offset=f.offset, count=len(data))
         try:
             n = yield from f.vnode.rdwr(RW.WRITE, f.offset, data, req=req)
+            if f.sync:
+                # O_SYNC: the write is durable before it returns.
+                yield from f.vnode.fsync(req=req)
         except BaseException as exc:
             req.complete(error=exc)
             raise
         req.complete()
+        if f.sync:
+            self._durability_point("osync_write", f.vnode)
         assert isinstance(n, int)
         f.offset += n
         return n
@@ -196,6 +208,12 @@ class Proc:
         return new
         yield  # pragma: no cover - lseek does no I/O but stays a generator
 
+    def _durability_point(self, kind: str, vnode: "Vnode") -> None:
+        """An acknowledged durability point: notify listeners (the
+        crash-point recorder snapshots declared-durable state here)."""
+        for cb in self.system.on_durability:
+            cb(kind, vnode)
+
     @_syscall
     def fsync(self, fd: int) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
@@ -207,6 +225,7 @@ class Proc:
             req.complete(error=exc)
             raise
         req.complete()
+        self._durability_point("fsync", f.vnode)
         # fsync is a quiesce point for *this file*, not the machine: other
         # processes may be mid-I/O, so only the always-true checks run.
         self.system.sanitizer.checkpoint("fsync", idle=False)
@@ -287,6 +306,11 @@ class Proc:
     def unlink(self, path: str) -> Generator[Any, Any, None]:
         yield from self._charge_syscall()
         yield from self._mount.unlink(path)
+
+    @_syscall
+    def rename(self, old_path: str, new_path: str) -> Generator[Any, Any, None]:
+        yield from self._charge_syscall()
+        yield from self._mount.rename(old_path, new_path)
 
     @_syscall
     def mkdir(self, path: str) -> Generator[Any, Any, None]:

@@ -43,9 +43,18 @@ class System:
         self.store = store if store is not None else DiskStore(
             cfg.geometry.total_sectors, cfg.geometry.sector_size)
         self.fault_plan = fault_plan
+        write_cache = None
+        if cfg.write_cache:
+            from repro.disk.wcache import VolatileWriteCache
+
+            write_cache = VolatileWriteCache(
+                self.store, cfg.write_cache_bytes,
+                sector_size=cfg.geometry.sector_size)
+        self.write_cache = write_cache
         self.disk = RotationalDisk(self.engine, cfg.geometry, self.store,
                                    track_buffer=cfg.track_buffer,
-                                   fault_plan=fault_plan)
+                                   fault_plan=fault_plan,
+                                   write_cache=write_cache)
         sched = cfg.scheduler
         if sched == "elevator" and not cfg.use_disksort:
             sched = "fifo"  # legacy switch: disksort off = FIFO queue
@@ -64,6 +73,10 @@ class System:
         )
         self.mount: UfsMount | None = None
         self.raw_disk = RawDiskVnode(self.engine, self.driver, self.cpu)
+        #: Durability-point listeners: called as ``cb(kind, vnode)`` after
+        #: every acknowledged durability point (fsync, O_SYNC write) — the
+        #: crash-point recorder snapshots declared-durable state here.
+        self.on_durability: list = []
         #: The cross-layer invariant sanitizer ("simsan"); enabled via the
         #: REPRO_SANITIZE environment variable or per-run --sanitize flags.
         self.sanitizer = Sanitizer(self)

@@ -283,9 +283,12 @@ class Sanitizer:
         meta = mount.metacache._bufs.get(addr_block)
         if meta is not None:
             return struct.unpack_from("<I", meta.data, index * 4)[0]
-        store = mount.driver.disk.store
+        # read_through: the drive-visible bytes — on a disk with a volatile
+        # write cache the authoritative copy may still sit in its buffer.
+        disk = mount.driver.disk
         frag_sectors = mount.sb.fsize // 512
-        data = store.read(addr_block * frag_sectors, mount.sb.bsize // 512)
+        data = disk.read_through(addr_block * frag_sectors,
+                                 mount.sb.bsize // 512)
         return struct.unpack_from("<I", data, index * 4)[0]
 
     def _check_page_coherency(self, point: str, idle: bool,
@@ -296,7 +299,7 @@ class Sanitizer:
         if mount is None:
             return
         pc = self.system.pagecache
-        store = mount.driver.disk.store
+        disk = mount.driver.disk
         sb = mount.sb
         for vn in list(mount._vnodes.values()):
             ip = vn.inode
@@ -320,8 +323,8 @@ class Sanitizer:
                         )
                     continue
                 nsectors = -(-nbytes // 512)
-                disk = store.read(sb.fsb_to_sector(addr), nsectors)
-                if bytes(page.data[:nbytes]) != disk[:nbytes]:
+                ondisk = disk.read_through(sb.fsb_to_sector(addr), nsectors)
+                if bytes(page.data[:nbytes]) != ondisk[:nbytes]:
                     self.fail(
                         "page_coherency",
                         f"at {point}: inode {ip.ino} offset {page.offset}: "
@@ -406,6 +409,35 @@ class Sanitizer:
                 f"{report.findings[0]}",
             )
 
+    # -- check 7: volatile write-cache accounting ---------------------------
+    def _check_write_cache(self, point: str, idle: bool, deep: bool) -> None:
+        cache = getattr(self.system, "write_cache", None)
+        if cache is None:
+            return
+        actual = sum(e.nbytes for e in cache.entries)
+        if cache.bytes != actual:
+            self.fail(
+                "write_cache",
+                f"at {point}: cache byte counter {cache.bytes} != "
+                f"{actual} bytes actually held (accounting leak)",
+            )
+        if idle and cache.bytes > cache.limit_bytes:
+            # Mid-service the cache may transiently exceed its limit while
+            # the triggering write destages room; settled, it must fit.
+            self.fail(
+                "write_cache",
+                f"at {point}: cache holds {cache.bytes} bytes over the "
+                f"{cache.limit_bytes}-byte limit at idle",
+            )
+        for entry in cache.entries:
+            if len(entry.data) != entry.nsectors * cache.sector_size:
+                self.fail(
+                    "write_cache",
+                    f"at {point}: entry #{entry.seq} claims "
+                    f"{entry.nsectors} sectors but holds "
+                    f"{len(entry.data)} bytes",
+                )
+
     #: The check registry: (name, idle_only, method).
     CHECKS: "list[tuple[str, bool, Callable[..., None]]]" = [
         ("engine_liveness", False, _check_engine_liveness),
@@ -414,6 +446,7 @@ class Sanitizer:
         ("request_spans", False, _check_request_spans),
         ("page_coherency", False, _check_page_coherency),
         ("allocator", False, _check_allocator),
+        ("write_cache", False, _check_write_cache),
     ]
 
 

@@ -690,7 +690,8 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes,
             ip.inline_data = None  # writes invalidate the inline cache
 
             old_ptr = yield from bmap.get_pointer(mount, ip, lbn)
-            yield from bmap.bmap_alloc(mount, ip, lbn, frags_needed)
+            new_ptr = yield from bmap.bmap_alloc(mount, ip, lbn, frags_needed)
+            relocated = old_ptr != bmap.HOLE and new_ptr != old_ptr
 
             page = pc.lookup(vn, page_off)
             if page is not None:
@@ -725,6 +726,8 @@ def _rdwr_write(vn: "UfsVnode", offset: int, data: bytes,
         if new_size > ip.size:
             ip.size = new_size
             ip.mark_dirty()
+        if relocated and mount.driver.disk.write_cache is not None:
+            yield from _secure_relocation(vn, page_off, req=req)
         # Unmap: the delayed putpage is where write clustering happens.
         yield from ufs_putpage(vn, page_off, psize, PutFlags(delay=True),
                                req=req)
@@ -757,12 +760,40 @@ def _expand_frag_tail(vn: "UfsVnode", tail_lbn: int,
     page = yield from ufs_getpage(vn, tail_lbn * sb.bsize, RW.READ, req=req)
     yield from page.lock_wait()
     try:
-        yield from bmap.bmap_alloc(mount, ip, tail_lbn, sb.frag)
+        new_addr = yield from bmap.bmap_alloc(mount, ip, tail_lbn, sb.frag)
         page.dirty = True  # must be written out (possibly to a new address)
         page.referenced = True
     finally:
         page.unlock()
+    if new_addr != old_ptr and mount.driver.disk.write_cache is not None:
+        yield from _secure_relocation(vn, tail_lbn * sb.bsize, req=req)
     mount.stats.incr("tail_expansions")
+
+
+def _secure_relocation(vn: "UfsVnode", page_off: int,
+                       req: "IORequest | None" = None
+                       ) -> Generator[Any, Any, None]:
+    """Make a just-relocated fragment run durable before its old home can
+    be reused.
+
+    Reallocation frees the old fragments while the on-disk inode may still
+    point at them; over a volatile write cache the relocated data is not
+    durable either, so another file can claim the freed fragments and have
+    *its* flush land foreign bytes in sectors the durable inode still
+    references — silently destroying previously-fsynced data.  Close the
+    window inside the relocating write itself: land the block at its new
+    address, barrier, then point the durable inode at it (and barrier
+    again, for ordered-metadata mounts where the inode write itself rides
+    the cache).
+    """
+    mount = vn.mount
+    psize = mount.pagecache.page_size
+    mount.stats.incr("relocation_barriers")
+    yield from _push_range(vn, page_off, psize, async_=False, free=False,
+                           req=req)
+    yield from mount.flush_disk(req=req)
+    yield from mount.write_inode(vn.inode, sync=True)
+    yield from mount.flush_disk(req=req)
 
 
 def _frags_for(sb, lbn: int, file_size: int) -> int:

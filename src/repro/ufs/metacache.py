@@ -145,9 +145,14 @@ class MetaCache:
         self._bufs[meta.frag_addr] = meta
 
     def _push(self, meta: MetaBuf, wait: bool) -> Generator[Any, Any, None]:
+        # A synchronous metadata write is only worth waiting for if it is
+        # durable when it completes: force unit access past any volatile
+        # write cache (the UFS consistency discipline assumes stable
+        # storage, not a drive buffer).
         sector, nsectors = self._sectors_of(meta.frag_addr)
         buf = Buf(self.engine, BufOp.WRITE, sector, nsectors,
-                  data=bytes(meta.data), async_=not wait)
+                  data=bytes(meta.data), async_=not wait, fua=wait,
+                  owner=f"meta@{meta.frag_addr}")
         meta.dirty = False
         yield from self.cpu.work("driver", self.cpu.costs.driver_strategy)
         self.driver.strategy(buf)

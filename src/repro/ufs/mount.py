@@ -21,6 +21,7 @@ from repro.errors import (
     DirectoryNotEmptyError, FileExistsError_, FileNotFoundError_,
     InvalidArgumentError, IsADirectoryError_, NotADirectoryError_,
 )
+from repro.sim.events import EventFailed
 from repro.sim.stats import StatSet
 from repro.sim.trace import Tracer
 from repro.ufs import bmap, dir as dirops
@@ -154,6 +155,20 @@ class UfsMount(Vfs):
         self._dirty_cgs.add(cgx)
         self._sb_dirty = True
 
+    def flush_disk(self, req: Any = None) -> Generator[Any, Any, None]:
+        """Emit a disk FLUSH barrier and wait for it — the durability point
+        every fsync/O_SYNC acknowledgement rests on.  A no-op on
+        write-through disks (no volatile cache to drain)."""
+        buf = self.driver.issue_flush(owner=f"{self.name}.flush", request=req)
+        if buf is None:
+            return
+        self.stats.incr("disk_flushes")
+        try:
+            yield buf.done
+        except EventFailed as failure:
+            cause = failure.args[0] if failure.args else failure
+            raise cause from None
+
     # -- sync --------------------------------------------------------------------------
     def sync(self) -> Generator[Any, Any, None]:
         """Flush dirty inodes, data pages, cylinder groups, superblock."""
@@ -169,17 +184,20 @@ class UfsMount(Vfs):
             data = self.cgs[cgx].pack(self.sb)
             buf = Buf(self.engine, BufOp.WRITE,
                       self.sb.cg_header_frag(cgx) * frag_sectors,
-                      len(data) // 512, data=data)
+                      len(data) // 512, data=data, fua=True)
             self.driver.strategy(buf)
             yield buf.done
         self._dirty_cgs.clear()
         # The superblock is always rewritten (update(8) behaviour).
         data = self.sb.pack()
         buf = Buf(self.engine, BufOp.WRITE, self.sb.frag * frag_sectors,
-                  len(data) // 512, data=data)
+                  len(data) // 512, data=data, fua=True)
         self.driver.strategy(buf)
         yield buf.done
         self._sb_dirty = False
+        # sync(2)'s contract is "everything written is on stable storage":
+        # drain whatever the drive still holds volatile.
+        yield from self.flush_disk()
 
     #: The fast-symlink capacity: the byte space of the block pointer
     #: array in the dinode ("the space normally used for block pointers is
@@ -369,8 +387,13 @@ class UfsMount(Vfs):
         if ip.nlink > 0:
             yield from self.write_inode(ip, sync=True)
             return
-        # Last link: remove backing store (frees every cached page), free
-        # the blocks and the inode.
+        yield from self._destroy_inode(vn)
+        self.stats.incr("unlinks")
+
+    def _destroy_inode(self, vn: UfsVnode) -> Generator[Any, Any, None]:
+        """Last link gone: remove backing store (frees every cached page),
+        free the blocks and the inode."""
+        ip = vn.inode
         for page in self.pagecache.vnode_pages(vn):
             if page.locked:
                 yield from page.wait_unlocked()
@@ -378,10 +401,52 @@ class UfsMount(Vfs):
         yield from self._release_file_blocks(ip)
         ip.mode = 0
         yield from self.write_inode(ip, sync=True)
-        self.allocator.free_inode(ino, was_dir=False)
-        self._icache.pop(ino, None)
-        self._vnodes.pop(ino, None)
-        self.stats.incr("unlinks")
+        self.allocator.free_inode(ip.ino, was_dir=False)
+        self._icache.pop(ip.ino, None)
+        self._vnodes.pop(ip.ino, None)
+
+    def rename(self, old_path: str, new_path: str
+               ) -> Generator[Any, Any, None]:
+        """Rename a regular file or symlink (directories unsupported).
+
+        4.3BSD-style link-then-unlink ordering: the link count is bumped
+        durably first, the new name entered, then the old name removed —
+        no crash point leaves the file reachable by neither name (though a
+        displaced target's old contents are gone once its entry is
+        removed, as with the real non-atomic UFS rename).
+        """
+        src_dir, src_name = yield from self._dir_and_name(old_path)
+        ino = yield from dirops.lookup(self, src_dir.inode, src_name)
+        if ino is None:
+            raise FileNotFoundError_(old_path)
+        vn = yield from self.iget(ino)
+        ip = vn.inode
+        if ip.is_dir:
+            raise IsADirectoryError_("directory rename is not supported")
+        dst_dir, dst_name = yield from self._dir_and_name(new_path)
+        existing = yield from dirops.lookup(self, dst_dir.inode, dst_name)
+        if existing == ino:
+            return
+        target_vn = None
+        if existing is not None:
+            target_vn = yield from self.iget(existing)
+            if target_vn.inode.is_dir:
+                raise IsADirectoryError_(new_path)
+            yield from dirops.remove(self, dst_dir.inode, dst_name)
+        ip.nlink += 1
+        yield from self.write_inode(ip, sync=True)
+        yield from dirops.enter(self, dst_dir.inode, dst_name, ino)
+        yield from dirops.remove(self, src_dir.inode, src_name)
+        ip.nlink -= 1
+        yield from self.write_inode(ip, sync=True)
+        if target_vn is not None:
+            tp = target_vn.inode
+            tp.nlink -= 1
+            if tp.nlink > 0:
+                yield from self.write_inode(tp, sync=True)
+            else:
+                yield from self._destroy_inode(target_vn)
+        self.stats.incr("renames")
 
     def _release_file_blocks(self, ip: Inode) -> Generator[Any, Any, None]:
         """Free an inode's blocks; a fast symlink's "pointers" are target

@@ -56,11 +56,22 @@ class UfsVnode(Vnode):
         ip.inline_data = None  # a mapped store bypasses rdwr's invalidation
 
     def fsync(self, req: "Any | None" = None) -> Generator[Any, Any, None]:
-        """Flush data pages, then the inode, synchronously."""
+        """Flush data pages, then the inode, synchronously.
+
+        Durability contract (volatile write caches): the data must be on
+        the media *before* the inode that points at it — otherwise a crash
+        can leave a durable inode referencing fragments whose contents
+        never left the drive's buffer (the tail-relocation hazard).  Hence
+        flush between data and inode, and flush again before acknowledging
+        so the inode itself (and any B_ORDER barrier it rode in on) is
+        durable when fsync returns.
+        """
         if self.inode.size > 0:
             yield from io.ufs_putpage(self, 0, self.inode.size, PutFlags(),
                                       req=req)
+            yield from self.mount.flush_disk(req=req)
         yield from self.mount.write_inode(self.inode, sync=True)
+        yield from self.mount.flush_disk(req=req)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<UfsVnode ino={self.inode.ino} size={self.inode.size}>"

@@ -1,0 +1,145 @@
+"""B_ORDER barrier semantics across schedulers, and the DiskQueue
+snapshot/restore contract (segment boundaries must round-trip).
+
+The round-trip matters because ``peek_all`` simulates service order by
+popping the real queue and restoring it: if restore loses a barrier
+segment boundary — or aliases the snapshot's lists so a later restore
+replays mutations — the elevator would happily predict (and after a
+restore, perform) a reorder across a write barrier.
+"""
+
+import pytest
+
+from repro.disk import Buf, BufOp, DiskQueue
+from repro.sim import Engine
+
+
+def wbuf(engine, sector, nsectors=2, ordered=False, issued_at=0.0):
+    buf = Buf(engine, BufOp.WRITE, sector, nsectors,
+              data=bytes(nsectors * 512), ordered=ordered)
+    buf.issued_at = issued_at
+    return buf
+
+
+def drain(queue, last_sector=0, now=0.0):
+    order = []
+    while True:
+        buf = queue.pop(last_sector, now=now)
+        if buf is None:
+            return order
+        order.append(buf)
+        last_sector = buf.end_sector
+    return order
+
+
+def fill(queue, engine):
+    """Sweep / barrier / sweep, with sectors chosen so a sort-happy
+    scheduler would love to reorder across the barrier."""
+    pre = [wbuf(engine, s) for s in (40, 10, 30)]
+    barrier = wbuf(engine, 90, ordered=True)
+    post = [wbuf(engine, s) for s in (5, 50, 20)]
+    for buf in pre + [barrier] + post:
+        queue.insert(buf)
+    return pre, barrier, post
+
+
+@pytest.mark.parametrize("name", ["elevator", "fifo", "deadline"])
+def test_barrier_never_reordered_across(name):
+    engine = Engine()
+    queue = DiskQueue(scheduler=name)
+    pre, barrier, post = fill(queue, engine)
+    order = drain(queue)
+    assert len(order) == 7
+    cut = order.index(barrier)
+    assert set(order[:cut]) == set(pre)
+    assert set(order[cut + 1:]) == set(post)
+
+
+@pytest.mark.parametrize("name", ["elevator", "fifo", "deadline"])
+def test_snapshot_restore_round_trips_segments(name):
+    engine = Engine()
+    queue = DiskQueue(scheduler=name)
+    fill(queue, engine)
+    state = queue.snapshot()
+    baseline = drain(queue)
+    assert len(queue) == 0
+    # Restore after draining everything: the full order must come back,
+    # barrier boundaries included.
+    queue.restore(state)
+    assert len(queue) == len(baseline)
+    assert drain(queue) == baseline
+
+
+@pytest.mark.parametrize("name", ["elevator", "fifo", "deadline"])
+def test_snapshot_survives_partial_pop_and_reinsert(name):
+    engine = Engine()
+    queue = DiskQueue(scheduler=name)
+    fill(queue, engine)
+    state = queue.snapshot()
+    baseline = drain(queue)
+    # Mutate hard after the snapshot: new inserts, including a new barrier.
+    queue.insert(wbuf(engine, 70))
+    queue.insert(wbuf(engine, 80, ordered=True))
+    queue.pop(0)
+    queue.restore(state)
+    assert drain(queue) == baseline
+    # The same snapshot restores a second time to the identical state
+    # (no aliasing between the snapshot and the live queue/scheduler).
+    queue.restore(state)
+    assert drain(queue) == baseline
+
+
+def test_peek_all_predicts_pop_order_with_barriers():
+    engine = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    fill(queue, engine)
+    predicted = queue.peek_all(last_sector=0)
+    assert len(queue) == 7  # peeking leaves the queue intact
+    assert drain(queue) == predicted
+
+
+def test_peek_all_does_not_disturb_elevator_accounting():
+    engine = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    for s in (40, 10, 30):
+        queue.insert(wbuf(engine, s))
+    before = dict(queue.scheduler._passes)
+    predicted = queue.peek_all(last_sector=35)  # skips 10 and 30 internally
+    assert dict(queue.scheduler._passes) == before
+    # And the real pops agree with the undisturbed prediction.
+    assert drain(queue, last_sector=35) == predicted
+
+
+def test_elevator_double_restore_is_not_aliased():
+    """Restoring the same scheduler snapshot twice yields the same state
+    even when selects mutate pass counts in between."""
+    engine = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    bufs = [wbuf(engine, s) for s in (40, 10, 30)]
+    for buf in bufs:
+        queue.insert(buf)
+    sched = queue.scheduler
+    state = sched.snapshot()
+    seg = [b for b in sorted(bufs, key=lambda b: b.sector)]
+    sched.select(seg, last_sector=35, now=0.0)  # passes over 10 and 30
+    first = dict(sched._passes)
+    sched.restore(state)
+    assert sched._passes == {}
+    sched.select(seg, last_sector=35, now=0.0)
+    assert dict(sched._passes) == first
+    sched.restore(state)
+    # The aliasing bug: the first restore adopted the snapshot dict, so
+    # the select above mutated the snapshot itself and this second
+    # restore would see pass counts that were never snapshotted.
+    assert sched._passes == {}
+
+
+def test_consecutive_barriers_stay_ordered():
+    engine = Engine()
+    queue = DiskQueue(scheduler="elevator")
+    b1 = wbuf(engine, 60, ordered=True)
+    b2 = wbuf(engine, 4, ordered=True)
+    tail = wbuf(engine, 2)
+    for buf in (b1, b2, tail):
+        queue.insert(buf)
+    assert drain(queue) == [b1, b2, tail]

@@ -1,0 +1,96 @@
+"""The crash-point exploration engine: enumeration, verification,
+determinism, and the pinning test for the relocation durability bug.
+"""
+
+import pytest
+
+from repro.faults import CrashpointExplorer, PRESETS, run_crashpoints
+
+
+def test_presets_are_wired():
+    for name, preset in PRESETS.items():
+        assert preset.name == name
+        assert preset.description
+    assert "smoke" in PRESETS and "relocate" in PRESETS
+
+
+def test_explorer_rejects_bad_window():
+    with pytest.raises(ValueError):
+        CrashpointExplorer(PRESETS["smoke"], window=0)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_crashpoints(preset="smoke", seed=0, sanitize=True)
+
+
+def test_smoke_meets_the_coverage_floor(smoke_report):
+    """The acceptance bar: >= 200 distinct crash states, all held to
+    their durability contracts after fsck repair."""
+    r = smoke_report
+    assert r.distinct_states >= 200
+    assert not r.states_truncated
+    assert r.violations == [] and r.ok
+    # The enumeration actually exercised the interesting machinery:
+    # volatile states, torn variants, and fsck repairs on crash images.
+    assert r.raw_states > r.distinct_states
+    assert r.fsck_repairs > 0
+    assert r.durability_points > 0
+
+
+def test_smoke_report_is_json_ready(smoke_report, tmp_path):
+    import json
+
+    d = smoke_report.to_json()
+    text = json.dumps(d, sort_keys=True)
+    assert json.loads(text)["distinct_states"] == smoke_report.distinct_states
+    assert json.loads(text)["ok"] is True
+
+
+def test_same_seed_same_digest():
+    """Determinism: the full exploration (state hashes + verdicts) is a
+    pure function of (preset, seed)."""
+    a = run_crashpoints(preset="relocate", seed=7)
+    b = run_crashpoints(preset="relocate", seed=7)
+    assert a.digest == b.digest
+    assert a.distinct_states == b.distinct_states
+    assert (a.raw_states, a.crash_points) == (b.raw_states, b.crash_points)
+
+
+def test_different_seed_different_payloads():
+    a = run_crashpoints(preset="relocate", seed=0)
+    b = run_crashpoints(preset="relocate", seed=1)
+    # Payloads differ, so the crash-state images (and their digest) do too.
+    assert a.digest != b.digest
+
+
+def test_relocation_bug_stays_fixed():
+    """Pinning test for the real bug this engine surfaced.
+
+    Growing a fragment-tail relocates the run: the allocator frees the old
+    fragments while the on-disk inode still points at them and the
+    relocated copy sits in the volatile write cache.  If another file
+    reuses the freed fragments and flushes, a crash leaves the durable
+    inode pointing at foreign bytes — promised (fsynced) data replaced by
+    another file's content.  The fix makes the relocated run and the new
+    inode pointers durable (write + FLUSH + FUA inode + FLUSH) before the
+    old fragments can be handed out again.
+    """
+    explorer = CrashpointExplorer(PRESETS["relocate"], seed=0, sanitize=True)
+    report = explorer.run()
+    # The workload really took the relocation path (else this test guards
+    # nothing) ...
+    assert explorer.recorded is not None
+    assert explorer.recorded.mount.stats["relocation_barriers"] > 0
+    # ... and with the barriers in place no crash state can lose promised
+    # bytes to fragment reuse.
+    assert report.violations == [] and report.ok
+    assert report.distinct_states > 0
+
+
+def test_ordered_metadata_preset_holds():
+    """B_ORDER metadata mode: barriers (not FUA) order the metadata; the
+    contract folding treats namespace ops as uncertain until a flush."""
+    report = run_crashpoints(preset="ordered", seed=0)
+    assert report.violations == [] and report.ok
+    assert report.distinct_states > 0

@@ -1,0 +1,89 @@
+"""``System.remounted`` must boot a genuinely fresh machine.
+
+The crash campaigns and the crash-point explorer remount hundreds of
+images per run; any state bleeding from the dead machine into the
+survivor (open requests, sanitizer accounting, write-cache contents,
+journal hooks) would turn one crash's debris into the next state's
+false verdict.
+"""
+
+from repro.faults.campaign import default_campaign_config
+from repro.kernel.syscalls import Proc
+from repro.kernel.system import System
+
+
+def crashedlike_system():
+    """A machine with plenty of used state: requests served, sanitizer
+    checkpoints taken, a journalling write cache with entries pending."""
+    config = default_campaign_config().with_(write_cache=True,
+                                             write_cache_bytes=64 * 1024)
+    system = System.booted(config)
+    system.sanitizer.enabled = True
+    system.tracer.enabled = True
+    assert system.write_cache is not None
+    system.write_cache.journal = []
+
+    def workload(proc):
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"x" * 8192)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    proc = Proc(system)
+    system.run(workload(proc), name="dirty-up")
+    system.sync()
+    return system, config
+
+
+def test_remounted_machine_shares_nothing_but_the_store():
+    crashed, config = crashedlike_system()
+    assert crashed.requests.stats["started"] > 0
+    assert crashed.sanitizer.checkpoints > 0
+    assert crashed.write_cache.journal  # the recording hook was active
+
+    survivor = System.remounted(crashed.store, config)
+
+    assert survivor.store is crashed.store
+    # Fresh identity everywhere else: engine, registry, sanitizer, cache.
+    assert survivor.engine is not crashed.engine
+    assert survivor.requests is not crashed.requests
+    assert survivor.sanitizer is not crashed.sanitizer
+    assert survivor.sanitizer.system is survivor
+    assert survivor.write_cache is not crashed.write_cache
+
+
+def test_remounted_registry_and_sanitizer_start_clean():
+    crashed, config = crashedlike_system()
+    served_by_crashed = crashed.requests.stats["started"]
+
+    survivor = System.remounted(crashed.store, config)
+    # No open requests or span leaks inherited; only the mount's own I/O
+    # has been counted.
+    assert survivor.requests.open == {}
+    assert survivor.requests.span_leaks == []
+    assert survivor.requests.stats["started"] < served_by_crashed
+    # The write cache starts empty and un-journalled: the dead machine's
+    # volatile entries and recording hook must not resurface.
+    assert survivor.write_cache.entries == []
+    assert survivor.write_cache.bytes == 0
+    assert survivor.write_cache.journal is None
+    # A full-depth checkpoint on the fresh machine passes: the survivor is
+    # quiesced and its state is coherent from the first instant.
+    survivor.sanitizer.enabled = True
+    before = survivor.sanitizer.checkpoints
+    survivor.sanitizer.checkpoint("remount_reset_test", idle=True, deep=True)
+    assert survivor.sanitizer.checkpoints == before + 1
+
+
+def test_remounted_sees_the_crashed_machines_durable_bytes():
+    crashed, config = crashedlike_system()
+    survivor = System.remounted(crashed.store, config)
+    proc = Proc(survivor)
+
+    def read(proc):
+        fd = yield from proc.open("/f")
+        data = yield from proc.read(fd, 8192)
+        yield from proc.close(fd)
+        return data
+
+    assert survivor.run(read(proc), name="verify") == b"x" * 8192
