@@ -73,6 +73,9 @@ class CostTable:
     inode_update: float = 80 * US
     #: Process context switch (used by the timesharing benchmark).
     context_switch: float = 300 * US
+    #: CRC over one fragment (verify on read, stamp on write) when an
+    #: integrity region is attached.
+    checksum_frag: float = 8 * US
 
     extra: dict[str, float] = field(default_factory=dict)
 

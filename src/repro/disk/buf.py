@@ -44,7 +44,7 @@ class Buf:
     __slots__ = (
         "id", "op", "sector", "nsectors", "data", "async_", "ordered", "fua",
         "done", "iodone", "owner", "issued_at", "started_at", "finished_at",
-        "children", "error", "request", "parent_span",
+        "children", "error", "request", "parent_span", "integrity_owner",
     )
 
     def __init__(self, engine: "Engine", op: BufOp, sector: int, nsectors: int,
@@ -82,6 +82,9 @@ class Buf:
         #: The span under which this buf was issued (for the request's
         #: disk_io subtree); meaningful only while tracing.
         self.parent_span: "Any | None" = None
+        #: (inode, first logical block) of a file write, for integrity
+        #: record attribution; None for metadata/raw/untagged writes.
+        self.integrity_owner: "tuple[int, int] | None" = None
 
     @property
     def end_sector(self) -> int:

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Any, Generator
 from repro.disk.buf import Buf
 from repro.disk.geometry import DiskGeometry
 from repro.disk.store import DiskStore
-from repro.errors import PowerLossError
+from repro.errors import ChecksumError, PowerLossError
 from repro.sim.events import Event
 from repro.sim.stats import StatSet
 from repro.units import MB, MS
@@ -152,6 +152,9 @@ class RotationalDisk:
         #: Optional volatile write cache (see repro.disk.wcache); None keeps
         #: the paper's write-through semantics.
         self.write_cache = write_cache
+        #: Optional integrity region (repro.integrity.checksum): reads are
+        #: verified and writes stamped against it.  See attach_integrity.
+        self.integrity = None
         self.stats = StatSet("disk")
         self._cyl = 0
         self._head = 0
@@ -160,6 +163,16 @@ class RotationalDisk:
     @property
     def current_cylinder(self) -> int:
         return self._cyl
+
+    def attach_integrity(self, region: "Any | None" = None) -> "Any | None":
+        """Attach (or discover on the store) an integrity region; from
+        here on every read is verified and every media write stamped."""
+        if region is None:
+            from repro.integrity.checksum import IntegrityRegion
+
+            region = IntegrityRegion.find(self.store)
+        self.integrity = region
+        return region
 
     def service(self, buf: Buf) -> Generator[Event, Any, None]:
         """Service one request; advances simulated time.  Driver-only API."""
@@ -174,6 +187,9 @@ class RotationalDisk:
             self.stats.incr("sectors", buf.nsectors)
 
         if self.fault_plan is not None:
+            # Latent rot develops while the machine runs, independent of
+            # what request happens to be in service.
+            self.fault_plan.apply_due_bitrot(self.store, engine.now)
             decision = self.fault_plan.decide(buf, engine.now)
             if decision is not None:
                 yield from self._fail(buf, decision)
@@ -259,6 +275,13 @@ class RotationalDisk:
                 if durable > 0:
                     self.store.write(buf.sector,
                                      buf.data[:durable * geom.sector_size])
+                    if self.integrity is not None:
+                        # Only the fully-durable fragments get records;
+                        # the torn remainder keeps its old ones and will
+                        # fail verification (as it should).
+                        self.integrity.stamp_range(
+                            buf.sector, buf.data[:durable * geom.sector_size],
+                            buf.integrity_owner)
                 self.stats.incr("torn_writes")
                 plan.stats.incr("torn_writes")
                 plan.stats.incr("torn_sectors_lost", buf.nsectors - durable)
@@ -267,13 +290,53 @@ class RotationalDisk:
         # Data plane: move the real bytes.
         if buf.is_read:
             buf.data = self.read_through(buf.sector, buf.nsectors)
+            if self.integrity is not None:
+                bad = self.integrity.verify_range(buf.sector, buf.data,
+                                                  cache=cache)
+                if bad:
+                    frag, reason = bad[0]
+                    self.stats.incr("checksum_failures", len(bad))
+                    raise ChecksumError(
+                        f"{reason} mismatch at fragment {frag} "
+                        f"(read [{buf.sector}, {buf.sector + buf.nsectors}))",
+                        sector=frag * self.integrity.frag_sectors,
+                        frag=frag, reason=reason)
         else:
             assert buf.data is not None
             if len(buf.data) != buf.nbytes:
                 raise ValueError(
                     f"write buf data length {len(buf.data)} != {buf.nbytes}"
                 )
-            self.store.write(buf.sector, buf.data)
+            silent = plan.decide_silent(buf, engine.now) if plan is not None \
+                else None
+            if silent == "lost":
+                # Acknowledged, never reaches the media.
+                self.stats.incr("silent_lost_writes")
+            elif silent == "misdirect":
+                # The bytes land at the wrong LBA; both the intended and
+                # the victim location now disagree with the record table.
+                target = buf.sector + plan.misdirect_shift
+                target = max(0, min(target,
+                                    self.store.total_sectors - buf.nsectors))
+                self.store.write(target, buf.data)
+                self.stats.incr("silent_misdirected_writes")
+            elif silent == "torn_tail":
+                # The tail of the transfer is quietly dropped (at least
+                # one sector), as a firmware bug or cut cable would.
+                keep = buf.nsectors - max(1, buf.nsectors // 4)
+                if keep > 0:
+                    self.store.write(buf.sector,
+                                     buf.data[:keep * geom.sector_size])
+                self.stats.incr("silent_torn_writes")
+            else:
+                self.store.write(buf.sector, buf.data)
+            # The drive believes the write succeeded (that is what makes
+            # the fault silent), so the *intended* range is stamped either
+            # way — the stale or misplaced bytes are what a later read's
+            # verification catches.
+            if self.integrity is not None:
+                self.integrity.stamp_range(buf.sector, buf.data,
+                                           buf.integrity_owner)
             if cache is not None:
                 cache.note_fua(buf)
 
@@ -325,11 +388,21 @@ class RotationalDisk:
             if durable > 0:
                 self.store.write(entry.sector,
                                  entry.data[:durable * geom.sector_size])
+                if self.integrity is not None:
+                    self.integrity.stamp_range(
+                        entry.sector, entry.data[:durable * geom.sector_size],
+                        entry.integrity_owner)
             self.stats.incr("torn_writes")
             plan.stats.incr("torn_writes")
             plan.stats.incr("torn_sectors_lost", entry.nsectors - durable)
             self._power_died(plan)
         cache.destage_head()
+        if self.integrity is not None:
+            # Volatile writes become checksummed reality only now: the
+            # destage is the point the media (and the record table) see
+            # the bytes.
+            self.integrity.stamp_range(entry.sector, entry.data,
+                                       entry.integrity_owner)
 
     def _service_flush(self, buf: Buf) -> Generator[Event, Any, None]:
         """Drain the volatile cache to the media, oldest entry first."""

@@ -24,7 +24,8 @@ from repro.disk.buf import Buf, BufOp
 from repro.disk.disk import RotationalDisk
 from repro.disk.sched import Scheduler, make_scheduler
 from repro.errors import (
-    DiskError, DiskTimeoutError, MediaError, TransientDiskError,
+    ChecksumError, DiskError, DiskTimeoutError, MediaError,
+    TransientDiskError,
 )
 from repro.sim.events import Event
 from repro.sim.resources import Signal
@@ -323,6 +324,13 @@ class DiskDriver:
             self._last_sector = buf.end_sector
             if self.cpu is not None:
                 intr = self.cpu.interrupt_charge("interrupt", self.cpu.costs.interrupt)
+                if self.disk.integrity is not None and not buf.is_flush:
+                    # Checksumming is honest CPU work: verifying a read or
+                    # stamping a write costs per-fragment cycles, charged
+                    # at completion like the interrupt itself.
+                    nfrags = buf.nsectors // self.disk.integrity.frag_sectors
+                    intr += self.cpu.interrupt_charge(
+                        "checksum", nfrags * self.cpu.costs.checksum_frag)
                 if intr > 0:
                     yield self.engine.timeout(intr)
             if error is not None and len(buf.children) > 1:
@@ -346,6 +354,7 @@ class DiskDriver:
         Returns None on success or the unrecoverable error.
         """
         attempt = 0
+        cs_attempts = 0
         while True:
             try:
                 yield from self.disk.service(buf)
@@ -372,6 +381,17 @@ class DiskDriver:
                     return exc
                 self.stats.incr("retries")
                 yield self.engine.timeout(self.retry_backoff * (2 ** (attempt - 1)))
+            except ChecksumError as exc:
+                # A verification failure is worth exactly one re-read: the
+                # first read may have tripped on a marginal transfer, but a
+                # second identical mismatch means the *media* is wrong and
+                # repair belongs to the scrubber, not the driver.
+                self.stats.incr("checksum_errors")
+                cs_attempts += 1
+                if cs_attempts > 1:
+                    return exc
+                self.stats.incr("checksum_retries")
+                yield self.engine.timeout(self.retry_backoff)
             except DiskError as exc:
                 return exc  # power loss and anything else unrecoverable
 

@@ -78,6 +78,10 @@ class DiskStore:
             h.update(self._sectors[sector])
         return h.hexdigest()
 
+    def nonzero_sectors(self) -> "list[int]":
+        """Sorted sector numbers currently holding non-zero data."""
+        return sorted(self._sectors)
+
     @property
     def written_sectors(self) -> int:
         """Number of sectors holding non-zero data (sparse population)."""

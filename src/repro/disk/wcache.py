@@ -36,10 +36,11 @@ class CacheEntry:
     """One completed-but-volatile write sitting in the cache."""
 
     __slots__ = ("seq", "sector", "nsectors", "data", "ordered", "owner",
-                 "request")
+                 "request", "integrity_owner")
 
     def __init__(self, seq: int, sector: int, nsectors: int, data: bytes,
-                 ordered: bool, owner: str, request: "Any | None"):
+                 ordered: bool, owner: str, request: "Any | None",
+                 integrity_owner: "tuple[int, int] | None" = None):
         self.seq = seq
         self.sector = sector
         self.nsectors = nsectors
@@ -48,6 +49,9 @@ class CacheEntry:
         self.owner = owner
         #: The logical request that issued the write (span attribution).
         self.request = request
+        #: (inode, first logical block) for integrity-record attribution;
+        #: carried to destage, where the checksums are stamped.
+        self.integrity_owner = integrity_owner
 
     @property
     def nbytes(self) -> int:
@@ -125,7 +129,7 @@ class VolatileWriteCache:
         self._seq += 1
         entry = CacheEntry(self._seq, buf.sector, buf.nsectors,
                            bytes(buf.data), buf.ordered, buf.owner,
-                           buf.request)
+                           buf.request, buf.integrity_owner)
         self.entries.append(entry)
         self.bytes += entry.nbytes
         self.stats.incr("writes")
@@ -182,6 +186,12 @@ class VolatileWriteCache:
         return lost
 
     # -- read plane --------------------------------------------------------
+    def covers(self, sector: int, nsectors: int) -> bool:
+        """True if any cached entry overlaps ``[sector, sector+nsectors)``
+        — a read there returns (at least partly) volatile bytes."""
+        lo, hi = sector, sector + nsectors
+        return any(e.sector < hi and e.end_sector > lo for e in self.entries)
+
     def overlay(self, sector: int, nsectors: int, data: bytes) -> bytes:
         """``data`` (read from the store) with cached entries applied in
         order — what the drive must return for a read while writes sit in

@@ -45,6 +45,24 @@ class MediaError(DiskError):
         self.sector = sector
 
 
+class ChecksumError(DiskError):
+    """A read returned bytes whose integrity record does not match: the
+    per-fragment CRC disagrees (``reason="crc"``, bit rot or a torn/lost
+    write) or the self-describing fragment address disagrees
+    (``reason="address"``, a misdirected write).  ``sector``/``frag``
+    locate the first bad fragment in the request's range."""
+
+    code = "EIO"
+
+    def __init__(self, message: str = "checksum mismatch",
+                 sector: "int | None" = None, frag: "int | None" = None,
+                 reason: str = "crc"):
+        super().__init__(message)
+        self.sector = sector
+        self.frag = frag
+        self.reason = reason
+
+
 class DiskTimeoutError(DiskError):
     """The controller stopped responding; the request hung and was failed
     by the driver's timeout handling (ETIMEDOUT)."""

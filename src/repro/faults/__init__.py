@@ -33,9 +33,15 @@ from repro.faults.crashpoints import (
 )
 from repro.faults.netcampaign import NetCampaign, NetCampaignStats
 from repro.faults.netplan import NetDecision, NetFaultPlan
-from repro.faults.plan import FaultDecision, FaultKind, FaultPlan
+from repro.faults.plan import (
+    CORRUPT_KINDS, SILENT_KINDS, FaultDecision, FaultKind, FaultPlan,
+    corrupt_frag,
+)
 
 __all__ = [
+    "CORRUPT_KINDS",
+    "SILENT_KINDS",
+    "corrupt_frag",
     "CampaignStats",
     "CrashCampaign",
     "CrashpointExplorer",

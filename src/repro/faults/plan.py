@@ -21,7 +21,13 @@ The fault taxonomy:
   in flight is torn at a sector boundary (the durable prefix is kept, the
   rest is lost), and from that instant the durable state is frozen — every
   later request fails with :class:`~repro.errors.PowerLossError` and
-  nothing further reaches the backing store.
+  nothing further reaches the backing store;
+* **silent faults** — failures the interface reports as success: *lost
+  writes* (acknowledged, never reach the media), *misdirected writes*
+  (the bytes land at the wrong LBA), *torn tails* (a clustered write's
+  tail sectors are dropped), and scheduled *bit rot* developing in place.
+  None of these raise; only the integrity layer
+  (:mod:`repro.integrity.checksum`) can turn them into detected events.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.sim.stats import StatSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.disk.buf import Buf
+    from repro.disk.store import DiskStore
 
 
 class FaultKind(enum.Enum):
@@ -74,13 +81,24 @@ class FaultPlan:
                  transient_at: Iterable[float] = (),
                  timeout_at: Iterable[float] = (),
                  timeout_hang: float = 0.25,
-                 power_cut_time: "float | None" = None):
+                 power_cut_time: "float | None" = None,
+                 silent_write_p: float = 0.0,
+                 silent_write_at: "Iterable[tuple[float, str]]" = (),
+                 misdirect_shift: int = 8,
+                 bitrot_at: "Iterable[tuple[float, int, int]]" = ()):
         if not 0.0 <= read_transient_p <= 1.0:
             raise ValueError("read_transient_p must be a probability")
         if not 0.0 <= write_transient_p <= 1.0:
             raise ValueError("write_transient_p must be a probability")
         if timeout_hang < 0:
             raise ValueError("timeout_hang must be >= 0")
+        if not 0.0 <= silent_write_p <= 1.0:
+            raise ValueError("silent_write_p must be a probability")
+        if misdirect_shift == 0:
+            raise ValueError("misdirect_shift must be non-zero")
+        for _, kind in silent_write_at:
+            if kind not in SILENT_KINDS:
+                raise ValueError(f"unknown silent fault kind {kind!r}")
         self.seed = seed
         self._rng = random.Random(seed)
         self.read_transient_p = read_transient_p
@@ -92,6 +110,10 @@ class FaultPlan:
         self.timeout_hang = timeout_hang
         self.power_cut_time = power_cut_time
         self.powered_off = False
+        self.silent_write_p = silent_write_p
+        self._silent_at = sorted(silent_write_at)
+        self.misdirect_shift = misdirect_shift
+        self._bitrot_at = sorted(bitrot_at)
         self.stats = StatSet("faults")
         self._next_spare = 0
 
@@ -173,3 +195,80 @@ class FaultPlan:
         cut = self.power_cut_time
         return (cut is not None and not self.powered_off
                 and started <= cut < now)
+
+    # -- silent faults --------------------------------------------------------
+    def decide_silent(self, buf: "Buf", now: float) -> "str | None":
+        """Does this media write fail *silently*?  Returns one of
+        ``SILENT_KINDS`` or None.  Consulted in the write data plane
+        (after the timing, instead of the store write); the rng is drawn
+        only when ``silent_write_p`` is enabled, so existing plans keep
+        their exact fault sequences."""
+        if not buf.is_write:
+            return None
+        if self._silent_at and now >= self._silent_at[0][0]:
+            _, kind = self._silent_at.pop(0)
+            self.stats.incr("silent_faults")
+            self.stats.incr(f"silent_{kind}")
+            return kind
+        if self.silent_write_p > 0.0 and self._rng.random() < self.silent_write_p:
+            kind = self._rng.choice(SILENT_KINDS)
+            self.stats.incr("silent_faults")
+            self.stats.incr(f"silent_{kind}")
+            return kind
+        return None
+
+    def apply_due_bitrot(self, store: "DiskStore", now: float) -> "list[int]":
+        """Flip any scheduled latent bits whose time has come (rot
+        develops in place while the machine runs).  Returns the sectors
+        touched; the flip itself is silent."""
+        touched: list[int] = []
+        while self._bitrot_at and now >= self._bitrot_at[0][0]:
+            _, sector, bit = self._bitrot_at.pop(0)
+            data = bytearray(store.read(sector, 1))
+            data[(bit // 8) % len(data)] ^= 1 << (bit % 8)
+            store.write(sector, bytes(data))
+            self.stats.incr("bitrot_flips")
+            touched.append(sector)
+        return touched
+
+
+#: Silent write-failure kinds ``decide_silent`` can return.
+SILENT_KINDS = ("lost", "misdirect", "torn_tail")
+
+#: Offline corruption kinds ``corrupt_frag`` accepts.
+CORRUPT_KINDS = ("bitrot", "zero", "torn", "misdirect")
+
+
+def corrupt_frag(store: "DiskStore", region, frag: int, kind: str,
+                 rng: random.Random) -> dict:
+    """Corrupt one fragment in place, offline (between runs) — the latent
+    errors a scrub exists to find.  ``region`` is the disk's
+    :class:`~repro.integrity.checksum.IntegrityRegion` (needed only for
+    geometry and, for ``"misdirect"``, to forge the record a misdirected
+    write would have left: a valid CRC naming the *wrong* fragment).
+    Returns a description dict for campaign reports.
+    """
+    from repro.units import SECTOR_SIZE
+
+    if kind not in CORRUPT_KINDS:
+        raise ValueError(f"unknown corruption kind {kind!r}")
+    fs = region.frag_sectors
+    sector = frag * fs
+    size = fs * SECTOR_SIZE
+    if kind == "bitrot":
+        data = bytearray(store.read(sector, fs))
+        for _ in range(1 + rng.randrange(3)):
+            bit = rng.randrange(size * 8)
+            data[bit // 8] ^= 1 << (bit % 8)
+        store.write(sector, bytes(data))
+    elif kind == "zero":
+        store.write(sector, bytes(size))
+    elif kind == "torn":
+        # A torn tail: the fragment's last sector holds stale garbage.
+        tail = bytes(rng.randrange(256) for _ in range(SECTOR_SIZE))
+        store.write(sector + fs - 1, tail)
+    elif kind == "misdirect":
+        garbage = bytes(rng.randrange(256) for _ in range(size))
+        store.write(sector, garbage)
+        region.forge_misdirect(frag, garbage)
+    return {"frag": frag, "kind": kind}

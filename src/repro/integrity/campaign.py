@@ -1,0 +1,386 @@
+"""Scrub campaigns: seeded latent-corruption sweeps.
+
+The campaign answers the integrity layer's accountability question the
+way the crash campaign answers fsck's: inject a *known*, seeded set of
+silent corruptions into a live file system, run one scrub pass, and make
+the report answer for every single one:
+
+* every injected corruption must be **detected** (checksum or address
+  mismatch) — silent corruption surviving a scrub is a model bug;
+* corruptions with a clean source must be **repaired** from it — the
+  integrity region's metadata replicas for superblock / cg-header
+  fragments, the page cache for data fragments whose owner file is
+  cached — and the repaired bytes must compare equal to the original;
+* corruptions with no clean source must surface as **EIO with precise
+  partial-read semantics**: bytes before the bad fragment are returned,
+  nothing after it is, and ``proc.errno`` says ``"EIO"``;
+* rewriting an unrepairable file must rehabilitate it: a second scrub
+  pass detects nothing, fsck is clean, and the deep sanitizer sweep
+  passes.
+
+Determinism: all targets and corruption payloads come from
+``random.Random(seed)``, and the simulation is deterministic, so the
+same seed yields a byte-identical report (and digest) on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Any, Generator
+
+from repro.disk.geometry import DiskGeometry
+from repro.errors import ReproError
+from repro.faults.plan import CORRUPT_KINDS, corrupt_frag
+from repro.integrity.scrub import Scrubber
+from repro.kernel.config import SystemConfig
+from repro.kernel.syscalls import Proc
+from repro.kernel.system import System
+from repro.sim.engine import SimulationError
+from repro.sim.invariants import SanitizerError
+from repro.sim.stats import StatSet
+from repro.ufs.fsck import fsck
+from repro.units import KB
+
+#: Corruption kinds used on targets that must repair from the page cache
+#: (``misdirect`` forges the record's address field, which still repairs,
+#: but keeping it on the latent side keeps expected outcomes readable).
+_CACHED_KINDS = ("bitrot", "zero", "torn")
+
+
+def default_scrub_config() -> SystemConfig:
+    """A small checksummed disk, so scrub passes over the whole device
+    stay fast (the same geometry the crash campaign uses)."""
+    return SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=120, heads=2,
+                                      sectors_per_track=32),
+        checksums=True)
+
+
+@dataclass
+class ScrubCampaignStats:
+    """Aggregated results; byte-identical for a given seed."""
+
+    injected: int = 0
+    detected: int = 0
+    repaired: int = 0
+    repaired_from_cache: int = 0
+    repaired_from_replica: int = 0
+    unrepairable: int = 0
+    #: Injected corruptions the scrub never reported: must be zero.
+    detect_misses: int = 0
+    #: Detections whose outcome/source differed from the injection's
+    #: expectation (e.g. a cached target that went unrepairable).
+    outcome_mismatches: int = 0
+    #: Repaired fragments whose on-disk bytes differ from the original.
+    verify_failures: int = 0
+    #: Latent-file reads that did not honour EIO / partial-read semantics.
+    eio_misses: int = 0
+    #: Detections by the second pass after rehabilitation: must be zero.
+    residual_detected: int = 0
+    fsck_clean: bool = False
+
+    def as_dict(self) -> "dict[str, Any]":
+        return asdict(self)
+
+    @property
+    def ok(self) -> bool:
+        return (self.detected >= self.injected
+                and self.detect_misses == 0
+                and self.outcome_mismatches == 0
+                and self.verify_failures == 0
+                and self.eio_misses == 0
+                and self.residual_detected == 0
+                and self.fsck_clean)
+
+    def __str__(self) -> str:  # pragma: no cover - CLI convenience
+        return "\n".join(f"{k:24} {v}" for k, v in self.as_dict().items())
+
+
+class ScrubCampaign:
+    """Inject seeded silent corruption, scrub, and audit every outcome."""
+
+    def __init__(self, seed: int = 0, nfiles: int = 8,
+                 file_bytes: int = 24 * KB,
+                 config: "SystemConfig | None" = None,
+                 sanitize: "bool | None" = None):
+        if nfiles < 2 or nfiles % 2:
+            raise ValueError("nfiles must be even and >= 2")
+        self.seed = seed
+        self.nfiles = nfiles
+        self.file_bytes = file_bytes
+        self.config = config if config is not None else default_scrub_config()
+        if not self.config.checksums:
+            raise ValueError("scrub campaign requires a checksummed config")
+        self.sanitize = sanitize
+        self.stats = ScrubCampaignStats()
+        self.statset = StatSet("scrubcampaign")
+        #: One dict per injection (target, kind, expected and actual
+        #: outcome), JSON-ready; filled by :meth:`run`.
+        self.records: "list[dict]" = []
+        self.digest = ""
+
+    # -- workload ----------------------------------------------------------
+    def _payload(self, i: int) -> bytes:
+        return bytes((i * 41 + j * 13) % 251 + 1 for j in range(self.file_bytes))
+
+    def _path(self, i: int) -> str:
+        return f"/data/f{i}"
+
+    def _build(self, proc: Proc) -> Generator[Any, Any, None]:
+        yield from proc.mkdir("/data")
+        for i in range(self.nfiles):
+            fd = yield from proc.creat(self._path(i))
+            yield from proc.write(fd, self._payload(i))
+            yield from proc.fsync(fd)
+            yield from proc.close(fd)
+
+    @staticmethod
+    def _open_read(proc: Proc, path: str, length: int
+                   ) -> Generator[Any, Any, "tuple[int, bytes]"]:
+        fd = yield from proc.open(path)
+        data = yield from proc.read(fd, length)
+        return fd, data
+
+    @staticmethod
+    def _read_chunk(proc: Proc, fd: int, length: int
+                    ) -> Generator[Any, Any, bytes]:
+        return (yield from proc.read(fd, length))
+
+    # -- the sweep ---------------------------------------------------------
+    def run(self) -> ScrubCampaignStats:
+        cfg = self.config
+        half = self.nfiles // 2
+        bsize = cfg.fs_params.bsize
+        nblocks = self.file_bytes // bsize
+
+        # Phase 1: build the population and push it durable.
+        builder = System(cfg)
+        if self.sanitize is not None:
+            builder.sanitizer.enabled = self.sanitize
+        builder.mkfs()
+        builder.run(builder.mount_fs())
+        builder.run(self._build(Proc(builder)), name="scrub-build")
+        builder.sync()
+        store = builder.store
+
+        # Phase 2: a fresh machine over the same bytes.  Reading the first
+        # half populates its page cache — the repair source for those files.
+        survivor = System.remounted(store, cfg)
+        if self.sanitize is not None:
+            survivor.sanitizer.enabled = self.sanitize
+        region = survivor.disk.integrity
+        assert region is not None
+        sb = survivor.mount.sb if survivor.mount is not None else None
+        assert sb is not None and survivor.mount is not None
+        fpb = sb.frags_per_block
+        fs = region.frag_sectors
+        proc = Proc(survivor)
+        fds: dict[int, int] = {}
+        for i in range(half):
+            fd, data = survivor.run(
+                self._open_read(proc, self._path(i), self.file_bytes),
+                name="scrub-warm")
+            assert data == self._payload(i), "pre-injection read mismatch"
+            fds[i] = fd
+
+        # Learn the latent files' block addresses up front: once injection
+        # starts, any engine run would checkpoint the sanitizer against a
+        # deliberately-corrupted disk.
+        latent_direct: "dict[int, list[int]]" = {}
+        for i in range(half, self.nfiles):
+            fd, _ = survivor.run(
+                self._open_read(proc, self._path(i), 0), name="scrub-stat")
+            latent_direct[i] = list(proc._files[fd].vnode.inode.direct)
+            survivor.run(proc.close(fd), name="scrub-stat")
+
+        # Phase 3: seeded injection, offline (between engine runs), like
+        # rot developing while the machine runs.
+        rng = random.Random(self.seed)
+        used: set[int] = set()
+        injected: "list[dict]" = []
+
+        def _pick(direct: "list[int]", lbn: "int | None"
+                  ) -> "tuple[int, int, int]":
+            while True:
+                blk = rng.randrange(nblocks) if lbn is None else lbn
+                off = rng.randrange(fpb)
+                frag = direct[blk] + off
+                if frag not in used:
+                    used.add(frag)
+                    return blk, off, frag
+
+        for i in range(half):
+            ip = proc._files[fds[i]].vnode.inode
+            lbn, off, frag = _pick(ip.direct, None)
+            kind = _CACHED_KINDS[i % len(_CACHED_KINDS)]
+            corrupt_frag(store, region, frag, kind, rng)
+            injected.append({"target": self._path(i), "file": i, "lbn": lbn,
+                             "off": off, "frag": frag, "kind": kind,
+                             "expect": "cache"})
+        for frag, target in ((sb.frags_per_block, "superblock"),
+                             (sb.cg_header_frag(1), "cg-header-1")):
+            used.add(frag)
+            corrupt_frag(store, region, frag, "bitrot", rng)
+            injected.append({"target": target, "file": None, "lbn": None,
+                             "off": None, "frag": frag, "kind": "bitrot",
+                             "expect": "replica"})
+        for j, i in enumerate(range(half, self.nfiles)):
+            lbn = 0 if j % 2 == 0 else 1  # even: EIO at once; odd: partial
+            lbn, off, frag = _pick(latent_direct[i], lbn)
+            kind = CORRUPT_KINDS[j % len(CORRUPT_KINDS)]
+            corrupt_frag(store, region, frag, kind, rng)
+            injected.append({"target": self._path(i), "file": i, "lbn": lbn,
+                             "off": off, "frag": frag, "kind": kind,
+                             "expect": "unrepairable"})
+
+        s = self.stats
+        s.injected = len(injected)
+
+        # Phase 4: one full scrub pass over every stamped fragment.
+        scrubber = Scrubber(survivor)
+        report = survivor.run(scrubber.scrub_now(), name="scrub-pass")
+        s.detected = report.detected
+        s.repaired = report.repaired
+        s.repaired_from_cache = report.repaired_from_cache
+        s.repaired_from_replica = report.repaired_from_replica
+        s.unrepairable = report.unrepairable
+
+        outcomes = {d["frag"]: d for d in report.details}
+        for inj in injected:
+            got = outcomes.get(inj["frag"])
+            if got is None:
+                s.detect_misses += 1
+                inj["outcome"] = "undetected"
+                continue
+            inj["reason"] = got["reason"]
+            if got["outcome"] == "repaired":
+                inj["outcome"] = f"repaired:{got['source']}"
+                if inj["expect"] != got["source"]:
+                    s.outcome_mismatches += 1
+            else:
+                inj["outcome"] = "unrepairable"
+                if inj["expect"] != "unrepairable":
+                    s.outcome_mismatches += 1
+
+        # Phase 5a: repaired data fragments must hold the original bytes.
+        for inj in injected:
+            if inj["expect"] != "cache" or not inj["outcome"].startswith("rep"):
+                continue
+            payload = self._payload(inj["file"])
+            lo = inj["lbn"] * bsize + inj["off"] * region.fsize
+            expect = payload[lo:lo + region.fsize]
+            if store.read(inj["frag"] * fs, fs) != expect:
+                s.verify_failures += 1
+        # ... and the cached files read back whole, through the stack.
+        for i in range(half):
+            survivor.run(proc.lseek(fds[i], 0), name="scrub-verify")
+            got = survivor.run(
+                self._read_chunk(proc, fds[i], self.file_bytes),
+                name="scrub-verify")
+            if got != self._payload(i):
+                s.verify_failures += 1
+            survivor.run(proc.close(fds[i]), name="scrub-verify")
+
+        # Phase 5b: unrepairable files fail with EIO, keeping every byte
+        # before the bad fragment and surfacing nothing at/after it.
+        for inj in injected:
+            if inj["expect"] != "unrepairable":
+                continue
+            inj["eio_ok"] = self._check_eio(survivor, inj, bsize, nblocks)
+            if not inj["eio_ok"]:
+                s.eio_misses += 1
+
+        # Phase 6: rehabilitation — rewriting a whole file (full aligned
+        # blocks: no read-modify-write) restamps its fragments and clears
+        # the BAD marks; a second pass must come up empty.
+        rehab = Proc(survivor)
+        for inj in injected:
+            if inj["expect"] != "unrepairable":
+                continue
+            survivor.run(self._rewrite(rehab, inj["file"]), name="scrub-rehab")
+        second = Scrubber(survivor)
+        report2 = survivor.run(second.scrub_now(), name="scrub-pass-2")
+        s.residual_detected = report2.detected
+
+        survivor.sync()
+        s.fsck_clean = bool(fsck(store).clean)
+        # The machine is quiesced and every fragment accounted for: the
+        # deep sweep (fsck walkers + integrity table audit) must pass.
+        survivor.sanitizer.checkpoint("scrubcampaign_final", idle=True,
+                                      deep=True)
+
+        self.records = injected
+        lines = sorted(
+            json.dumps(r, sort_keys=True, default=str) for r in injected)
+        self.digest = hashlib.sha256(
+            "\n".join(lines).encode()).hexdigest()[:16]
+        for key, value in s.as_dict().items():
+            self.statset.incr(key, int(value))
+        return s
+
+    def _rewrite(self, proc: Proc, i: int) -> Generator[Any, Any, None]:
+        fd = yield from proc.open(self._path(i))
+        yield from proc.write(fd, self._payload(i))
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    def _check_eio(self, survivor: System, inj: dict, bsize: int,
+                   nblocks: int) -> bool:
+        """Block-at-a-time reads: every block before the corrupt one is
+        returned intact, the corrupt one fails with EIO."""
+        proc = Proc(survivor, name="eio-check")
+        payload = self._payload(inj["file"])
+        try:
+            fd = survivor.run(proc.open(self._path(inj["file"])),
+                              name="scrub-eio")
+        except (ReproError, SimulationError):
+            return False
+        ok = True
+        for lbn in range(nblocks):
+            try:
+                got = survivor.run(self._read_chunk(proc, fd, bsize),
+                                   name="scrub-eio")
+            except SanitizerError:
+                raise
+            except (ReproError, SimulationError):
+                got = None
+            if lbn < inj["lbn"]:
+                if got != payload[lbn * bsize:(lbn + 1) * bsize]:
+                    ok = False  # a clean prefix block was lost
+            elif lbn == inj["lbn"]:
+                if got is not None or proc.errno != "EIO":
+                    ok = False  # the bad block must fail, precisely
+                break
+        survivor.run(proc.close(fd), name="scrub-eio")
+        return ok
+
+    def to_json(self) -> dict:
+        """The sweep as one JSON-ready document (stats + per-injection
+        records + seed-stable digest)."""
+        return {
+            "seed": self.seed,
+            "stats": self.stats.as_dict(),
+            "injections": self.records,
+            "digest": self.digest,
+            "ok": self.stats.ok,
+        }
+
+
+def run_scrubcampaign(seed: int = 0, sanitize: "bool | None" = None,
+                      json_path: "str | None" = None,
+                      out=print) -> ScrubCampaign:
+    """Run one campaign; optionally write the JSON document.  Returns the
+    campaign (``campaign.stats.ok`` is the pass/fail verdict)."""
+    campaign = ScrubCampaign(seed=seed, sanitize=sanitize)
+    stats = campaign.run()
+    out(stats)
+    out(f"{'digest':24} {campaign.digest}")
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(campaign.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out(f"wrote {json_path}")
+    return campaign

@@ -53,6 +53,9 @@ class SystemConfig:
     #: write, or capacity destaging.  Off = the paper's write-through drive.
     write_cache: bool = False
     write_cache_bytes: int = 64 * KB
+    #: End-to-end integrity: mkfs reserves a checksum region, every media
+    #: write is stamped, every read verified (repro.integrity).
+    checksums: bool = False
 
     def with_(self, **changes: object) -> "SystemConfig":
         return replace(self, **changes)  # type: ignore[arg-type]

@@ -80,12 +80,21 @@ class System:
         #: The cross-layer invariant sanitizer ("simsan"); enabled via the
         #: REPRO_SANITIZE environment variable or per-run --sanitize flags.
         self.sanitizer = Sanitizer(self)
+        # A remounted store may already carry an integrity region — find
+        # it, so verification starts with the first read (mount itself).
+        self.disk.attach_integrity()
 
     # -- setup -------------------------------------------------------------
     def mkfs(self, params: FsParams | None = None):
         """Build the file system (offline; no simulated time)."""
-        return mkfs(self.store, self.config.geometry,
-                    params if params is not None else self.config.fs_params)
+        params = params if params is not None else self.config.fs_params
+        if self.config.checksums and not params.checksums:
+            from dataclasses import replace
+
+            params = replace(params, checksums=True)
+        sb = mkfs(self.store, self.config.geometry, params)
+        self.disk.attach_integrity()
+        return sb
 
     def mount_fs(self) -> Generator[Any, Any, UfsMount]:
         """Mount the file system (reads the root inode)."""
@@ -148,3 +157,15 @@ class System:
         """Flush everything (runs the engine)."""
         if self.mount is not None:
             self.run(self.mount.sync(), name="sync")
+
+    def start_scrub(self, interval: float = 5.0, batch_frags: int = 64,
+                    inflight_limit: int = 2):
+        """Start the paced background scrub daemon (requires an attached
+        integrity region); returns it."""
+        from repro.integrity.scrub import ScrubDaemon
+
+        daemon = ScrubDaemon(self, interval=interval,
+                             batch_frags=batch_frags,
+                             inflight_limit=inflight_limit)
+        daemon.start()
+        return daemon

@@ -438,6 +438,37 @@ class Sanitizer:
                     f"{len(entry.data)} bytes",
                 )
 
+    # -- check 8: integrity-table audit (deep only) -------------------------
+    def _check_integrity(self, point: str, idle: bool, deep: bool) -> None:
+        """Every stamped fragment's media bytes must match its record.
+
+        Deep-only: it reads the whole stamped set, and is only sound at a
+        full quiesce (dirty cache pages may legitimately be newer than the
+        media, but their *fragments* were stamped at the last media write,
+        so a synced machine has no excuse).  Skipped per fragment: BAD
+        marks (scrub already gave up, loudly) and write-cache overlays
+        (those bytes are stamped at destage).
+        """
+        if not deep:
+            return
+        region = getattr(self.system.disk, "integrity", None)
+        if region is None:
+            return
+        fs = region.frag_sectors
+        cache = getattr(self.system, "write_cache", None)
+        for frag in region.stamped_frags():
+            if region.record(frag).bad:
+                continue
+            data = self.system.disk.read_through(frag * fs, fs)
+            bad = region.verify_range(frag * fs, data, cache=cache)
+            if bad:
+                frag_, reason = bad[0]
+                self.fail(
+                    "integrity",
+                    f"at {point}: fragment {frag_} fails its integrity "
+                    f"record ({reason}) with no fault outstanding",
+                )
+
     #: The check registry: (name, idle_only, method).
     CHECKS: "list[tuple[str, bool, Callable[..., None]]]" = [
         ("engine_liveness", False, _check_engine_liveness),
@@ -447,6 +478,7 @@ class Sanitizer:
         ("page_coherency", False, _check_page_coherency),
         ("allocator", False, _check_allocator),
         ("write_cache", False, _check_write_cache),
+        ("integrity", False, _check_integrity),
     ]
 
 

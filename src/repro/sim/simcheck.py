@@ -67,13 +67,16 @@ def stable_digest(jsonl: str) -> str:
 def run_simcheck(config_name: str = "C", file_mb: int = 4,
                  random_ops: int = 256, trace_phase: str = "FSW",
                  seed: int = 1991,
+                 json_path: "str | None" = None,
                  out: Callable[[str], None] = print) -> int:
     """Run the workload twice; return 0 when both legs hold.
 
     Leg one: the sanitizer's six checks pass at every quiesce point of
     both runs, plus a deep (fsck-backed) sweep after each.  Leg two: the
     two runs' stable trace digests, phase rates, and request counts are
-    identical.
+    identical.  ``json_path`` writes the comparison (both runs' digests,
+    rates, counts, and the verdict) as one JSON document — the CI
+    artifact form.
     """
     from repro.bench.iobench import IObench
     from repro.kernel.config import SystemConfig
@@ -112,6 +115,21 @@ def run_simcheck(config_name: str = "C", file_mb: int = 4,
         if first[key] != second[key]:
             failures.append(key)
             out(f"  MISMATCH {key}: run1={first[key]!r} run2={second[key]!r}")
+    if json_path:
+        document = {
+            "config": config_name,
+            "file_mb": file_mb,
+            "random_ops": random_ops,
+            "trace_phase": trace_phase,
+            "seed": seed,
+            "runs": [first, second],
+            "mismatched_keys": failures,
+            "ok": not failures,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out(f"wrote {json_path}")
     if failures:
         out(f"simcheck FAILED: runs diverged on {', '.join(failures)}")
         return 1

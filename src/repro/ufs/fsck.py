@@ -59,16 +59,34 @@ class FsckReport:
 
 class _Checker:
     def __init__(self, store: "DiskStore"):
+        from repro.integrity.checksum import IntegrityRegion
+
         self.store = store
         self.report = FsckReport()
-        self.sb = Superblock.unpack(self._read_frags_raw(16, 16))
+        #: Structured repair hints gathered alongside the findings; applied
+        #: by :class:`_Repairer` when fsck runs with ``repair=True``.
+        self.actions: list[tuple] = []
+        self.region = IntegrityRegion.find(store)
+        raw = self._read_frags_raw(16, 16)
+        if self.region is None:
+            self.sb = Superblock.unpack(raw)
+        else:
+            try:
+                if self.region.verify_range(16, raw):
+                    raise CorruptionError(
+                        "primary superblock failed integrity check")
+                self.sb = Superblock.unpack(raw)
+            except CorruptionError:
+                # The replica in the integrity region stands in; repair
+                # mode rewrites the primary from it.
+                self.sb = Superblock.unpack(self.region.sb_replica())
+                self.report.problem(
+                    "primary superblock corrupt; using integrity replica")
+                self.actions.append(("rewrite_superblock",))
         self.frag_sectors = self.sb.fsize // 512
         self.claims: dict[int, int] = {}  # frag -> claiming inode
         self.link_counts: dict[int, int] = {}  # ino -> references seen
         self.inode_modes: dict[int, int] = {}
-        #: Structured repair hints gathered alongside the findings; applied
-        #: by :class:`_Repairer` when fsck runs with ``repair=True``.
-        self.actions: list[tuple] = []
 
     def _read_frags_raw(self, sector: int, nsectors: int) -> bytes:
         return self.store.read(sector, nsectors)
@@ -384,9 +402,12 @@ class _Repairer:
     """
 
     def __init__(self, store: "DiskStore", sb: Superblock):
+        from repro.integrity.checksum import IntegrityRegion
+
         self.store = store
         self.sb = sb
         self.frag_sectors = sb.fsize // 512
+        self.region = IntegrityRegion.find(store)
 
     # -- raw byte access ----------------------------------------------------
     def _read_block(self, frag_addr: int) -> bytearray:
@@ -395,8 +416,12 @@ class _Repairer:
 
     def _write_block(self, frag_addr: int, data: bytes) -> None:
         nsectors = -(-len(data) // 512)
-        self.store.write(frag_addr * self.frag_sectors,
-                         bytes(data).ljust(nsectors * 512, b"\x00"))
+        padded = bytes(data).ljust(nsectors * 512, b"\x00")
+        self.store.write(frag_addr * self.frag_sectors, padded)
+        if self.region is not None:
+            # Every repair write restamps, or the repair itself would be
+            # indicted on the next read.
+            self.region.stamp_range(frag_addr * self.frag_sectors, padded)
 
     def _patch(self, frag_addr: int, offset: int, payload: bytes) -> None:
         block = self._read_block(frag_addr)
@@ -458,6 +483,12 @@ class _Repairer:
                          + pack_dirent(parent, "..", DIRBLKSIZ - 12))
                 self._patch(frag_addr, 0, chunk)
                 log.append(f"rebuilt '.'/'..' of directory {ino}")
+            elif kind == "rewrite_superblock":
+                assert self.region is not None
+                replica = self.region.sb_replica()
+                self.store.write(16, replica)
+                self.region.stamp_range(16, replica)
+                log.append("rewrote primary superblock from integrity replica")
         self._rebuild_maps(log)
 
     def _rebuild_maps(self, log: "list[str]") -> None:
@@ -513,7 +544,10 @@ class _Repairer:
             total_ndir += ndir
         sb.cs_nbfree, sb.cs_nffree = total_nbfree, total_nffree
         sb.cs_nifree, sb.cs_ndir = total_nifree, total_ndir
-        self.store.write(16, sb.pack())
+        packed = sb.pack()
+        self.store.write(16, packed)
+        if self.region is not None:
+            self.region.stamp_range(16, packed)
         log.append("rebuilt bitmaps, group counters, and superblock summary")
 
 

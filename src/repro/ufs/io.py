@@ -533,6 +533,10 @@ def _issue_write(vn: "UfsVnode", cluster: "list[Page]", addr: int,
 
         buf = Buf(mount.engine, BufOp.WRITE, sb.fsb_to_sector(addr), nsectors,
                   data=data, async_=async_, owner=f"ufs-write-i{ip.ino}")
+        # Integrity attribution: records stamped for this write name the
+        # owning inode and logical block, so scrub repair can find a clean
+        # page-cache copy without walking block pointers.
+        buf.integrity_owner = (ip.ino, first_lbn)
         if req is not None:
             buf.request = req
             buf.parent_span = span if span is not None else req.current_span

@@ -31,10 +31,16 @@ def _write_frags(store: "DiskStore", params: FsParams, frag_addr: int,
     store.write(sector, data)
 
 
-def compute_superblock(geometry: "DiskGeometry", params: FsParams) -> Superblock:
-    """Lay out the file system for the given disk."""
+def compute_superblock(geometry: "DiskGeometry", params: FsParams,
+                       total_sectors: "int | None" = None) -> Superblock:
+    """Lay out the file system for the given disk.
+
+    ``total_sectors`` overrides the device size — mkfs uses it to hold
+    back the tail sectors an integrity region needs.
+    """
     frag_sectors = params.fsize // 512
-    total_frags = geometry.total_sectors // frag_sectors
+    usable = geometry.total_sectors if total_sectors is None else total_sectors
+    total_frags = usable // frag_sectors
     spc = geometry.heads * geometry.sectors_per_track_at(0)
     # Fragments per group, rounded down to a whole block so group data
     # areas stay block aligned.
@@ -112,7 +118,20 @@ def mkfs(store: "DiskStore", geometry: "DiskGeometry",
     in the first data block of group 0.
     """
     params = params if params is not None else FsParams()
-    sb = compute_superblock(geometry, params)
+    total_sectors = None
+    if params.checksums:
+        # Two passes: size the region for a full-device layout, then lay
+        # the file system out on what is left.  The reservation only
+        # shrinks with the data area, so one shrink always converges.
+        from repro.integrity.checksum import IntegrityRegion
+
+        probe = compute_superblock(geometry, params)
+        reserve = IntegrityRegion.sectors_needed(
+            probe.total_frags, probe.ncg, probe.bsize)
+        total_sectors = geometry.total_sectors - reserve
+        if total_sectors <= 0:
+            raise InvalidArgumentError("disk too small for an integrity region")
+    sb = compute_superblock(geometry, params, total_sectors=total_sectors)
     groups = [_build_group(sb, cgx) for cgx in range(sb.ncg)]
 
     # Root directory: one block in group 0's data area.
@@ -150,4 +169,16 @@ def mkfs(store: "DiskStore", geometry: "DiskGeometry",
     for cgx, cg in enumerate(groups):
         _write_frags(store, params, sb.cg_header_frag(cgx), cg.pack(sb))
     _write_frags(store, params, sb.frag, sb.pack())
+
+    from repro.integrity.checksum import IntegrityRegion
+
+    if params.checksums:
+        region = IntegrityRegion.create(store, sb)
+        region.stamp_all()
+    else:
+        # A reused store may carry a stale region from a previous life;
+        # forget it, or its table would indict every fresh write.
+        stale = IntegrityRegion.find(store)
+        if stale is not None:
+            stale.erase()
     return sb

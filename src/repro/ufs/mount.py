@@ -18,8 +18,9 @@ from typing import TYPE_CHECKING, Any, Generator
 from repro.core import ClusterTuning, FreeBehindPolicy
 from repro.disk.buf import Buf, BufOp
 from repro.errors import (
-    DirectoryNotEmptyError, FileExistsError_, FileNotFoundError_,
-    InvalidArgumentError, IsADirectoryError_, NotADirectoryError_,
+    CorruptionError, DirectoryNotEmptyError, FileExistsError_,
+    FileNotFoundError_, InvalidArgumentError, IsADirectoryError_,
+    NotADirectoryError_,
 )
 from repro.sim.events import EventFailed
 from repro.sim.stats import StatSet
@@ -60,10 +61,29 @@ class UfsMount(Vfs):
         self.ordered_metadata = ordered_metadata
 
         store = driver.disk.store
+        region = driver.disk.integrity
         # Mount-time reads (superblock, group headers) go through the data
         # plane directly: mount is not on any benchmarked path.  The
         # superblock lives at the canonical 8 KB offset (block 1).
-        self.sb = Superblock.unpack(store.read(16, 16))
+        #: True if the primary superblock failed its integrity check and
+        #: the mount came up from the region's replica.
+        self.sb_recovered = False
+        raw = store.read(16, 16)
+        if region is None:
+            self.sb = Superblock.unpack(raw)
+        else:
+            try:
+                if region.verify_range(16, raw):
+                    raise CorruptionError(
+                        "primary superblock failed integrity check")
+                self.sb = Superblock.unpack(raw)
+            except CorruptionError:
+                # Come up from the replica; the primary stays rotted on
+                # disk until the next sync() rewrite or an fsck
+                # rewrite_superblock action heals it.
+                self.sb = Superblock.unpack(region.sb_replica())
+                self.sb_recovered = True
+                self.stats.incr("sb_replica_mounts")
         if pagecache.page_size != self.sb.bsize:
             raise InvalidArgumentError(
                 "this reproduction assumes page size == block size "
@@ -71,12 +91,28 @@ class UfsMount(Vfs):
             )
         frag_sectors = self.sb.fsize // 512
         self.cgs: list[CylinderGroup] = []
+        self._dirty_cgs: set[int] = set()
+        self._sb_dirty = False
         for cgx in range(self.sb.ncg):
             sector = self.sb.cg_header_frag(cgx) * frag_sectors
             data = store.read(sector, self.sb.bsize // 512)
-            self.cgs.append(CylinderGroup.unpack(data, self.sb))
-        self._dirty_cgs: set[int] = set()
-        self._sb_dirty = False
+            if region is not None:
+                try:
+                    if region.verify_range(sector, data):
+                        raise CorruptionError(
+                            f"cg {cgx} header failed integrity check")
+                    cg = CylinderGroup.unpack(data, self.sb)
+                except CorruptionError:
+                    cg = CylinderGroup.unpack(region.cg_replica(cgx), self.sb)
+                    self.stats.incr("cg_replica_mounts")
+                    # Self-heal: the next sync() rewrites (and restamps)
+                    # the primary from the recovered copy.
+                    self._dirty_cgs.add(cgx)
+            else:
+                cg = CylinderGroup.unpack(data, self.sb)
+            self.cgs.append(cg)
+        if self.sb_recovered:
+            self._sb_dirty = True
 
         self.metacache = MetaCache(engine, driver, cpu, self.sb.bsize,
                                    frag_sectors, capacity=metacache_blocks)

@@ -35,6 +35,9 @@ class FsParams:
     rotdelay_ms: float = 4.0
     #: Maximum contiguous blocks; with clustering this is the cluster size.
     maxcontig: int = 1
+    #: Reserve an integrity region (per-fragment checksums + metadata
+    #: replicas) in the device tail and stamp every write against it.
+    checksums: bool = False
 
     def __post_init__(self) -> None:
         if self.bsize % self.fsize != 0 or self.bsize // self.fsize not in (1, 2, 4, 8):
@@ -83,5 +86,5 @@ class FsParams:
         return cls(
             bsize=base.bsize, fsize=base.fsize, cpg=base.cpg, nbpi=base.nbpi,
             minfree_pct=base.minfree_pct, rotdelay_ms=0.0,
-            maxcontig=cluster_bytes // base.bsize,
+            maxcontig=cluster_bytes // base.bsize, checksums=base.checksums,
         )

@@ -21,11 +21,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def tunefs(store: "DiskStore", rotdelay_ms: float | None = None,
            maxcontig: int | None = None,
-           minfree_pct: int | None = None) -> Superblock:
+           minfree_pct: int | None = None,
+           checksums: bool | None = None) -> Superblock:
     """Adjust tunable superblock fields in place; returns the new superblock.
 
     Offline tool (run against an unmounted store), like the real one.
+    ``checksums=True`` retrofits an integrity region into the device-tail
+    slack past the data area (stamping everything currently written) —
+    possible only when mkfs's block rounding left enough; ``False``
+    forgets an existing region.
     """
+    from repro.integrity.checksum import IntegrityRegion
+
     sb = Superblock.unpack(store.read(16, 16))
     if rotdelay_ms is not None:
         if rotdelay_ms < 0:
@@ -40,4 +47,15 @@ def tunefs(store: "DiskStore", rotdelay_ms: float | None = None,
             raise InvalidArgumentError("minfree must be in [0, 50)")
         sb.minfree = minfree_pct
     store.write(16, sb.pack())
+    region = IntegrityRegion.find(store)
+    if checksums is True and region is None:
+        # create() raises InvalidArgumentError if the slack is too small.
+        region = IntegrityRegion.create(store, sb)
+        region.stamp_all()
+    elif checksums is False and region is not None:
+        region.erase()
+        region = None
+    elif region is not None:
+        # The superblock rewrite above must keep its record fresh.
+        region.stamp_range(16, sb.pack())
     return sb

@@ -1,0 +1,132 @@
+"""Write-cache + integrity interaction: stamping happens at destage
+(when bytes reach the media), and overlay-served reads are never checked
+against on-media records they do not reflect."""
+
+import pytest
+
+from repro.disk import Buf, BufOp
+from repro.disk.geometry import DiskGeometry
+from repro.errors import ChecksumError
+from repro.kernel import System, SystemConfig
+from repro.sim.events import EventFailed
+
+
+def _config():
+    return SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=120, heads=2,
+                                      sectors_per_track=32),
+        checksums=True, write_cache=True)
+
+
+@pytest.fixture
+def system():
+    return System.booted(_config())
+
+
+def _free_frag(system):
+    """A data fragment nothing has written (gen 0, zero on media)."""
+    region = system.disk.integrity
+    fs = region.frag_sectors
+    used = set(region.stamped_frags())
+    frag = region.sb.cg_data_frag(0) + region.frags_per_block
+    while frag in used:
+        frag += 1
+    assert system.store.read(frag * fs, fs) == bytes(region.fsize)
+    return frag
+
+
+def _io(system, buf):
+    def gen():
+        system.driver.strategy(buf)
+        yield buf.done
+
+    system.run(gen())
+    return buf
+
+
+def test_fua_write_stamps_immediately(system):
+    region = system.disk.integrity
+    fs = region.frag_sectors
+    frag = _free_frag(system)
+    a = bytes([0xA1]) * region.fsize
+    _io(system, Buf(system.engine, BufOp.WRITE, frag * fs, fs, data=a,
+                    fua=True, owner="test"))
+    rec = region.record(frag)
+    assert rec.gen > 0
+    assert system.store.read(frag * fs, fs) == a
+    assert region.verify_range(frag * fs, a) == []
+
+
+def test_cached_write_stamps_at_destage_not_before(system):
+    region = system.disk.integrity
+    cache = system.write_cache
+    assert cache is not None
+    fs = region.frag_sectors
+    frag = _free_frag(system)
+    sector = frag * fs
+
+    a = bytes([0xA1]) * region.fsize
+    b = bytes([0xB2]) * region.fsize
+    _io(system, Buf(system.engine, BufOp.WRITE, sector, fs, data=a,
+                    fua=True, owner="test"))
+    gen_a = region.record(frag).gen
+
+    # A cached (non-FUA) write: acknowledged, but volatile.  The media and
+    # the record table still describe A.
+    _io(system, Buf(system.engine, BufOp.WRITE, sector, fs, data=b,
+                    owner="test"))
+    assert cache.covers(sector, fs)
+    assert system.store.read(sector, fs) == a
+    assert region.record(frag).gen == gen_a
+
+    # Rot the stale media copy underneath the cache.
+    rotted = bytearray(a)
+    rotted[7] ^= 0x10
+    system.store.write(sector, bytes(rotted))
+
+    # A read is served from the overlay: the caller sees B, and the
+    # verifier must NOT compare the overlay bytes against A's record.
+    rbuf = _io(system, Buf(system.engine, BufOp.READ, sector, fs,
+                           owner="test"))
+    assert rbuf.error is None
+    assert rbuf.data == b
+
+    # FLUSH destages: B reaches the media and is stamped then and there.
+    _io(system, Buf.flush(system.engine, owner="test"))
+    assert not cache.covers(sector, fs)
+    assert region.record(frag).gen > gen_a
+    assert system.store.read(sector, fs) == b
+    assert region.verify_range(sector, system.store.read(sector, fs)) == []
+    rbuf2 = _io(system, Buf(system.engine, BufOp.READ, sector, fs,
+                            owner="test"))
+    assert rbuf2.data == b
+
+
+def test_destaged_rot_is_caught_after_flush(system):
+    """Once the cache no longer covers a sector, media rot is detected
+    again — the overlay exemption is strictly scoped to cached spans."""
+    region = system.disk.integrity
+    fs = region.frag_sectors
+    frag = _free_frag(system)
+    sector = frag * fs
+    b = bytes([0xB2]) * region.fsize
+    _io(system, Buf(system.engine, BufOp.WRITE, sector, fs, data=b,
+                    owner="test"))
+    _io(system, Buf.flush(system.engine, owner="test"))
+
+    rotted = bytearray(b)
+    rotted[0] ^= 0x01
+    system.store.write(sector, bytes(rotted))
+
+    rbuf = Buf(system.engine, BufOp.READ, sector, fs, owner="test")
+
+    def gen():
+        system.driver.strategy(rbuf)
+        try:
+            yield rbuf.done
+        except EventFailed as failure:
+            cause = failure.args[0] if failure.args else failure
+            raise cause from None
+
+    with pytest.raises(ChecksumError):
+        system.run(gen())

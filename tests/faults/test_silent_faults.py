@@ -1,0 +1,132 @@
+"""Silent write faults: the interface says success, the media disagrees —
+and only the integrity layer can tell."""
+
+import random
+
+import pytest
+
+from repro.disk import Buf, BufOp
+from repro.disk.store import DiskStore
+from repro.errors import ChecksumError
+from repro.faults import SILENT_KINDS, FaultPlan
+from repro.kernel import System
+from repro.sim import Engine
+from repro.sim.events import EventFailed
+
+from tests.integrity.conftest import checksum_config
+
+SS = 512
+
+
+def _wbuf(engine, sector, nsectors=1, fill=0xAB, **kw):
+    return Buf(engine, BufOp.WRITE, sector, nsectors,
+               data=bytes([fill]) * (nsectors * SS), **kw)
+
+
+def test_plan_validates_silent_parameters():
+    with pytest.raises(ValueError):
+        FaultPlan(silent_write_p=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(misdirect_shift=0)
+    with pytest.raises(ValueError):
+        FaultPlan(silent_write_at=[(0.0, "gremlins")])
+
+
+def test_scheduled_silent_faults_fire_in_order_on_writes_only():
+    engine = Engine()
+    plan = FaultPlan(silent_write_at=[(1.0, "lost"), (2.0, "torn_tail")])
+    # Reads never fail silently, and they don't consume the schedule.
+    rbuf = Buf(engine, BufOp.READ, 0, 1)
+    assert plan.decide_silent(rbuf, 5.0) is None
+    assert plan.decide_silent(_wbuf(engine, 0), 0.5) is None  # too early
+    assert plan.decide_silent(_wbuf(engine, 0), 1.5) == "lost"
+    assert plan.decide_silent(_wbuf(engine, 0), 5.0) == "torn_tail"
+    assert plan.decide_silent(_wbuf(engine, 0), 9.0) is None  # exhausted
+    assert plan.stats["silent_faults"] == 2
+    assert plan.stats["silent_lost"] == 1
+    assert plan.stats["silent_torn_tail"] == 1
+
+
+def test_disabled_silent_faults_never_draw_the_rng():
+    # Adding the silent machinery must not perturb existing plans' fault
+    # sequences: with silent_write_p == 0 the rng state is untouched.
+    engine = Engine()
+    plan = FaultPlan(seed=42)
+    before = plan._rng.getstate()
+    for t in range(50):
+        assert plan.decide_silent(_wbuf(engine, t), float(t)) is None
+    assert plan._rng.getstate() == before
+
+
+def test_probabilistic_silent_faults_are_seeded():
+    engine = Engine()
+
+    def kinds(seed):
+        plan = FaultPlan(seed=seed, silent_write_p=0.5)
+        return [plan.decide_silent(_wbuf(engine, t), float(t))
+                for t in range(40)]
+
+    run = kinds(7)
+    assert run == kinds(7)  # deterministic
+    fired = [k for k in run if k is not None]
+    assert fired
+    assert set(fired) <= set(SILENT_KINDS)
+
+
+def test_apply_due_bitrot_flips_scheduled_bits():
+    store = DiskStore(16, SS)
+    store.write(3, bytes([0xFF]) * SS)
+    plan = FaultPlan(bitrot_at=[(1.0, 3, 0), (2.0, 3, 9)])
+    assert plan.apply_due_bitrot(store, 0.5) == []
+    assert plan.apply_due_bitrot(store, 1.5) == [3]
+    data = store.read(3, 1)
+    assert data[0] == 0xFE  # bit 0 of byte 0 flipped
+    assert plan.apply_due_bitrot(store, 9.0) == [3]
+    assert store.read(3, 1)[1] == 0xFD  # bit 1 of byte 1
+    assert plan.stats["bitrot_flips"] == 2
+
+
+@pytest.mark.parametrize("kind", SILENT_KINDS)
+def test_silent_write_faults_are_caught_by_checksums(kind):
+    """End to end: a silently failed write completes 'successfully', yet
+    the very next read of that range raises a checksum error, because the
+    record table was stamped with what *should* have been written."""
+    plan = FaultPlan(silent_write_at=[(0.0, kind)])
+    system = System.booted(checksum_config(), fault_plan=plan)
+    region = system.disk.integrity
+    fs = region.frag_sectors
+    # A free data fragment: mkfs/mount ran offline, so the first media
+    # write the plan sees is ours.
+    used = set(region.stamped_frags())
+    frag = region.sb.cg_data_frag(0) + region.frags_per_block
+    while frag in used:
+        frag += 1
+    sector = frag * fs
+
+    payload = bytes(random.Random(kind).randrange(1, 256)
+                    for _ in range(fs * SS))
+    wbuf = Buf(system.engine, BufOp.WRITE, sector, fs, data=payload,
+               fua=True, owner="test")
+
+    def write():
+        system.driver.strategy(wbuf)
+        yield wbuf.done
+
+    system.run(write())
+    assert wbuf.error is None  # the silent fault reported success
+    assert plan.stats["silent_faults"] == 1
+    assert system.store.read(sector, fs) != payload  # ...but lied
+
+    rbuf = Buf(system.engine, BufOp.READ, sector, fs, owner="test")
+
+    def read():
+        system.driver.strategy(rbuf)
+        try:
+            yield rbuf.done
+        except EventFailed as failure:
+            cause = failure.args[0] if failure.args else failure
+            raise cause from None
+
+    with pytest.raises(ChecksumError):
+        system.run(read())
+    assert system.disk.stats["checksum_failures"] > 0

@@ -1,0 +1,25 @@
+"""Shared fixtures: a small checksummed system (the scrub campaign's
+geometry, so integrity-region layout is exercised the same way)."""
+
+import pytest
+
+from repro.disk import DiskGeometry
+from repro.kernel import Proc, System, SystemConfig
+
+
+def checksum_config(**overrides):
+    overrides.setdefault("checksums", True)
+    return SystemConfig.config_a().with_(
+        geometry=DiskGeometry.uniform(cylinders=120, heads=2,
+                                      sectors_per_track=32),
+        **overrides)
+
+
+@pytest.fixture
+def system():
+    return System.booted(checksum_config())
+
+
+@pytest.fixture
+def proc(system):
+    return Proc(system)

@@ -1,0 +1,190 @@
+"""Unit tests for the integrity region: layout, stamping, verification."""
+
+import pytest
+
+from repro.disk.store import DiskStore
+from repro.errors import ChecksumError, InvalidArgumentError
+from repro.integrity import INTEGRITY_MAGIC, IntegrityRegion
+from repro.kernel import Proc, System
+from repro.ufs.mkfs import mkfs
+from repro.ufs.tunefs import tunefs
+
+from tests.integrity.conftest import checksum_config
+
+KB = 1024
+
+
+def test_mkfs_reserves_a_tail_region(system):
+    region = system.disk.integrity
+    assert region is not None
+    sb = region.sb
+    # The data area ends before the region starts.
+    data_end = sb.total_frags * region.frag_sectors
+    assert data_end <= region.table_sector
+    assert region.header_sector == system.store.total_sectors - 1
+    # A fresh attach from the bytes alone agrees.
+    found = IntegrityRegion.find(system.store)
+    assert found is not None
+    assert found.table_sector == region.table_sector
+    assert found.sb.total_frags == sb.total_frags
+
+
+def test_mkfs_without_checksums_leaves_no_region():
+    cfg = checksum_config(checksums=False)
+    system = System.booted(cfg)
+    assert system.disk.integrity is None
+    assert IntegrityRegion.find(system.store) is None
+
+
+def test_reused_store_forgets_stale_region():
+    cfg = checksum_config()
+    system = System.booted(cfg)
+    store = system.store
+    assert IntegrityRegion.find(store) is not None
+    # Re-mkfs the same store without checksums: the old table must not
+    # survive to indict fresh writes.
+    mkfs(store, cfg.geometry, cfg.fs_params)
+    assert IntegrityRegion.find(store) is None
+
+
+def test_everything_mkfs_wrote_is_stamped(system):
+    region = system.disk.integrity
+    fs = region.frag_sectors
+    data_sectors = region.nfrags * fs
+    written = {s // fs for s in system.store.nonzero_sectors()
+               if s < data_sectors}
+    stamped = set(region.stamped_frags())
+    assert written <= stamped
+    # ... and every stamp verifies against the media.
+    for frag in sorted(stamped):
+        data = system.store.read(frag * fs, fs)
+        assert region.verify_range(frag * fs, data) == []
+
+
+def test_file_writes_carry_owner_attribution(system, proc):
+    payload = bytes((j * 7) % 251 for j in range(24 * KB))
+
+    def workload():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, payload)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+        return proc._files  # noqa: SLF001 - test introspection
+
+    system.run(workload())
+    mount = system.mount
+    ip = None
+    for vn in mount._vnodes.values():
+        if vn.inode.is_reg:
+            ip = vn.inode
+    assert ip is not None
+    region = system.disk.integrity
+    fpb = region.frags_per_block
+    for lbn in range(3):
+        for off in range(fpb):
+            rec = region.record(ip.direct[lbn] + off)
+            assert rec.gen > 0
+            assert rec.owner_ino == ip.ino
+            assert rec.owner_lbn == lbn
+            assert rec.off == off
+
+
+def test_verify_reports_crc_and_address_mismatches(system):
+    region = system.disk.integrity
+    fs = region.frag_sectors
+    sb = region.sb
+    frag = sb.cg_data_frag(0)  # the root directory block: stamped
+    assert region.record(frag).gen > 0
+
+    good = system.store.read(frag * fs, fs)
+    assert region.verify_range(frag * fs, good) == []
+
+    rotted = bytearray(good)
+    rotted[100] ^= 0x40
+    assert region.verify_range(frag * fs, bytes(rotted)) == [(frag, "crc")]
+
+    region.forge_misdirect(frag, good)
+    assert region.verify_range(frag * fs, good) == [(frag, "address")]
+
+
+def test_corrupt_read_fails_with_eio(system, proc):
+    payload = b"\x5a" * (8 * KB)
+
+    def build():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, payload)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(build())
+    # Remount so the page cache holds nothing and the read goes to disk.
+    survivor = System.remounted(system.store, system.config)
+    region = survivor.disk.integrity
+    fs = region.frag_sectors
+    # Find the file's fragment by owner attribution.
+    frags = [f for f in region.stamped_frags()
+             if region.record(f).owner_ino not in (0, 2)]
+    assert frags
+    data = bytearray(survivor.store.read(frags[0] * fs, fs))
+    data[17] ^= 0x01
+    survivor.store.write(frags[0] * fs, bytes(data))
+
+    sproc = Proc(survivor)
+
+    def read():
+        fd = yield from sproc.open("/f")
+        yield from sproc.read(fd, len(payload))
+
+    with pytest.raises(ChecksumError):
+        survivor.run(read())
+    assert sproc.errno == "EIO"
+    assert survivor.driver.stats["checksum_errors"] > 0
+    assert survivor.disk.stats["checksum_failures"] > 0
+
+
+def test_tunefs_retrofits_and_forgets(system):
+    # Build a plain (no-checksum) file system on the same geometry.
+    cfg = checksum_config(checksums=False)
+    plain = System.booted(cfg)
+    store = plain.store
+    assert IntegrityRegion.find(store) is None
+
+    tunefs(store, checksums=True)
+    region = IntegrityRegion.find(store)
+    assert region is not None
+    fs = region.frag_sectors
+    for frag in region.stamped_frags():
+        data = store.read(frag * fs, fs)
+        assert region.verify_range(frag * fs, data) == []
+
+    tunefs(store, checksums=False)
+    assert IntegrityRegion.find(store) is None
+
+
+def test_create_requires_slack():
+    # A store exactly as big as the data area leaves no room.
+    cfg = checksum_config(checksums=False)
+    system = System.booted(cfg)
+    sb = tunefs(system.store)  # no-op tune, returns the superblock
+    tight = DiskStore(sb.total_frags * (sb.fsize // 512), 512)
+    with pytest.raises(InvalidArgumentError):
+        IntegrityRegion.create(tight, sb)
+
+
+def test_sb_replica_tracks_superblock_rewrites(system, proc):
+    def touch():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"x" * 1024)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(touch())
+    system.sync()
+    region = system.disk.integrity
+    sb_now = system.store.read(16, region.block_sectors)
+    assert region.sb_replica() == sb_now
+    assert region.stats["replica_refreshes"] > 0
+
+
+def test_header_magic_is_distinct():
+    assert INTEGRITY_MAGIC != 0x011954  # the superblock's

@@ -1,0 +1,118 @@
+"""Metadata replica fallback: a rotted primary superblock or cylinder-group
+header must not make the file system unmountable."""
+
+import random
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.faults import corrupt_frag
+from repro.kernel import Proc, System
+from repro.ufs.fsck import fsck
+
+from tests.integrity.conftest import checksum_config
+
+KB = 1024
+
+
+def _built_store(payload=b"\x42" * (8 * KB)):
+    system = System.booted(checksum_config())
+    proc = Proc(system)
+
+    def gen():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, payload)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(gen())
+    system.sync()
+    return system.store, system.config, payload
+
+
+def _corrupt_sb(store):
+    from repro.integrity import IntegrityRegion
+
+    region = IntegrityRegion.find(store)
+    sb_frag = region.frags_per_block  # the superblock's first fragment
+    corrupt_frag(store, region, sb_frag, "bitrot", random.Random(0))
+    return region
+
+
+def test_mount_falls_back_to_sb_replica():
+    store, cfg, payload = _built_store()
+    _corrupt_sb(store)
+
+    survivor = System.remounted(store, cfg)
+    mount = survivor.mount
+    assert mount.sb_recovered
+    assert mount.stats["sb_replica_mounts"] == 1
+
+    # The recovered system serves files normally.
+    proc = Proc(survivor)
+
+    def read():
+        fd = yield from proc.open("/f")
+        data = yield from proc.read(fd, len(payload))
+        yield from proc.close(fd)
+        return data
+
+    assert survivor.run(read()) == payload
+
+    # ... and the first sync self-heals the primary copy.
+    survivor.sync()
+    region = survivor.disk.integrity
+    raw = store.read(16, region.block_sectors)
+    assert region.verify_range(16, raw) == []
+    resurvivor = System.remounted(store, cfg)
+    assert not resurvivor.mount.sb_recovered
+
+
+def test_fsck_repairs_the_primary_superblock():
+    store, cfg, _ = _built_store()
+    _corrupt_sb(store)
+
+    report = fsck(store)
+    assert not report.clean
+    assert any("superblock" in f for f in report.findings)
+
+    repaired = fsck(store, repair=True)
+    assert any("superblock" in r for r in repaired.repairs)
+    assert fsck(store).clean
+    # The repaired primary mounts without touching the replica.
+    survivor = System.remounted(store, cfg)
+    assert not survivor.mount.sb_recovered
+
+
+def test_mount_falls_back_to_cg_replica_and_self_heals():
+    store, cfg, payload = _built_store()
+    from repro.integrity import IntegrityRegion
+
+    region = IntegrityRegion.find(store)
+    frag = region.sb.cg_header_frag(1)
+    corrupt_frag(store, region, frag, "zero", random.Random(1))
+
+    survivor = System.remounted(store, cfg)
+    mount = survivor.mount
+    assert not mount.sb_recovered
+    assert mount.stats["cg_replica_mounts"] == 1
+    assert 1 in mount._dirty_cgs  # queued for the self-healing rewrite
+
+    survivor.sync()
+    region2 = survivor.disk.integrity
+    fs = region2.frag_sectors
+    raw = store.read(frag * fs, region2.block_sectors)
+    assert region2.verify_range(frag * fs, raw) == []
+    assert fsck(store).clean
+
+
+def test_unrecoverable_without_region():
+    # Without checksums there is no replica: a mangled superblock is fatal.
+    store, cfg, _ = _built_store()
+    cfg_plain = checksum_config(checksums=False)
+    plain = System.booted(cfg_plain)
+    raw = bytearray(plain.store.read(16, 16))
+    raw[4] ^= 0xFF  # mangle a field the unpacker validates
+    plain.store.write(16, bytes(raw))
+    with pytest.raises(CorruptionError):
+        System.remounted(plain.store, cfg_plain)
