@@ -13,6 +13,10 @@ Commands:
   network-fault sweep over NFS (drops/duplicates/corruption/partitions/
   server reboots against the RPC hardening: no lost acknowledged writes,
   exactly-once mutations);
+* ``memberkill [--seeds 10] [--seed 0] [--json PATH]`` — seeded
+  mirror-member-death sweep: kill one member of a mirror:2 volume
+  mid-workload, verify degraded reads serve every acknowledged byte,
+  then resync and demand byte-identical members;
 * ``crashpoints [--preset smoke] [--seed 0] [--json PATH]`` — exhaustive
   crash-state exploration: record a workload over a volatile write cache,
   enumerate every bounded-legal crash state (cache subsets × torn
@@ -49,15 +53,22 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
 
     names = list(args.configs.upper())
     scheduler = args.scheduler or None
+    layout = args.layout or None
     tracing = bool(args.trace_jsonl)
-    print(f"running IObench on configurations {', '.join(names)} "
+    where = f" on layout {layout}" if layout else ""
+    print(f"running IObench on configurations {', '.join(names)}{where} "
           f"({args.file_mb} MB file; this simulates a few minutes of 1991)...")
     results = {}
     benches = []
     for name in names:
         config = SystemConfig.by_name(name)
+        overrides = {}
         if scheduler is not None:
-            config = dataclasses.replace(config, scheduler=scheduler)
+            overrides["scheduler"] = scheduler
+        if layout is not None:
+            overrides["layout"] = layout
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
         bench = IObench(config, file_size=args.file_mb * MB,
                         trace_phase="FSR" if tracing and not benches else None,
                         sanitize=True if args.sanitize else None)
@@ -73,6 +84,7 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
     report = first.system.requests.report()
     print()
     print(f"pipeline (config {names[0]}, "
+          f"layout={first.system.volume.describe()}, "
           f"scheduler={first.system.driver.scheduler_name}):")
     for kind, summary in report["latency"].items():
         print(f"  {kind:10s} n={summary['count']:<6.0f} "
@@ -200,6 +212,27 @@ def _cmd_netcampaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_memberkill(args: argparse.Namespace) -> int:
+    from repro.faults import MirrorKillCampaign
+
+    if args.seeds < 1:
+        print("memberkill: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    campaign = MirrorKillCampaign(seeds=args.seeds, base_seed=args.seed,
+                                  sanitize=True if args.sanitize else None)
+    print(f"killing one mirror member per seed ({args.seeds} seeds, "
+          f"base seed={args.seed}): degraded reads, zero acknowledged "
+          "loss, resync back to byte-identical members...")
+    stats = campaign.run()
+    print(stats)
+    if args.json:
+        _write_json(args.json, campaign.to_json())
+    if not stats.ok:
+        print("FAILED: a mirror-redundancy invariant was violated")
+        return 1
+    return 0
+
+
 def _cmd_crashpoints(args: argparse.Namespace) -> int:
     from repro.faults import PRESETS, run_crashpoints
 
@@ -287,6 +320,10 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--scheduler", default="",
                    choices=["", "elevator", "fifo", "deadline"],
                    help="override the disk scheduler for every config")
+    p.add_argument("--layout", default="",
+                   help="override the block-device layout for every config "
+                        "(single, concat:N, stripe:N[:chunk=SIZE], "
+                        "mirror:N[:read=rr|shortest])")
     p.add_argument("--trace-jsonl", default="", metavar="PATH",
                    help="trace the sequential-read phase of the first "
                         "config; write records+spans as JSON lines to PATH")
@@ -334,6 +371,19 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--json", default="", metavar="PATH",
                    help="write per-seed outcomes to PATH")
     p.set_defaults(fn=_cmd_netcampaign)
+
+    p = sub.add_parser("memberkill",
+                       help="seeded mirror-member-death sweep: degraded "
+                            "operation, zero acknowledged loss, resync")
+    p.add_argument("--seeds", type=int, default=10,
+                   help="number of seeded member kills (default 10)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed (kills use seed..seed+seeds-1)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the cross-layer invariant sanitizer on")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write per-seed outcomes to PATH")
+    p.set_defaults(fn=_cmd_memberkill)
 
     p = sub.add_parser("crashpoints",
                        help="exhaustive crash-state exploration over a "

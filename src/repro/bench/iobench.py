@@ -98,8 +98,9 @@ class IObench:
     def _pipeline_report(self, system: System) -> dict[str, Any]:
         """Per-layer pipeline stats for the whole run (all phases)."""
         driver = system.driver
-        return {
+        report = {
             "scheduler": driver.scheduler_name,
+            "layout": system.volume.describe(),
             "queue_depth": {
                 "avg": driver.queue_depth.average(),
                 "max": driver.queue_depth.maximum,
@@ -109,6 +110,25 @@ class IObench:
             "requests": system.requests.report(),
             "phases": dict(self._phase_reports),
         }
+        members = system.volume.members
+        if len(members) > 1:
+            # Per-member breakdown: shows how evenly the volume spread the
+            # load (stripe balance, mirror read policy) and each member's
+            # own queue behaviour.
+            report["members"] = [
+                {
+                    "name": m.driver.name,
+                    "requests": m.driver.stats["requests"],
+                    "bytes": m.driver.stats["bytes"],
+                    "queue_depth": {
+                        "avg": m.driver.queue_depth.average(),
+                        "max": m.driver.queue_depth.maximum,
+                    },
+                    "service": m.driver.service_hist.summary(),
+                }
+                for m in members
+            ]
+        return report
 
     def _seq_write(self, proc: Proc, update: bool):
         record = bytes(self.record_size)
@@ -196,19 +216,27 @@ class IObench:
 
 def run_configs(names: "list[str]" = list("ABCD"),
                 scheduler: "str | None" = None,
+                layout: "str | None" = None,
                 **kwargs) -> "list[IObenchResult]":
     """Run IObench over several figure 9 configurations.
 
     ``scheduler`` overrides each configuration's disk scheduler (elevator /
-    fifo / deadline); None keeps the configs' own choice.
+    fifo / deadline); None keeps the configs' own choice.  ``layout``
+    overrides the block-device layout (e.g. ``stripe:4:chunk=64k``); None
+    keeps the default single disk.
     """
     import dataclasses
 
     results = []
     for name in names:
         config = SystemConfig.by_name(name)
+        overrides = {}
         if scheduler is not None:
-            config = dataclasses.replace(config, scheduler=scheduler)
+            overrides["scheduler"] = scheduler
+        if layout is not None:
+            overrides["layout"] = layout
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
         bench = IObench(config, **kwargs)
         results.append(bench.run())
     return results

@@ -16,6 +16,12 @@ the paper's arguments require:
 
 The disk stores real bytes: the data read back is the data written, which
 lets integrity tests run against the same stack the benchmarks use.
+
+Above the single disk sits the volume layer (:mod:`repro.disk.volume`):
+a pluggable block-device stack offering concat, stripe (RAID-0), and
+mirror (RAID-1) volumes whose members are full disk models — each with
+its own queue, scheduler, write cache, and fault plan — so member I/Os
+genuinely overlap in simulated time.
 """
 
 from repro.disk.buf import Buf, BufOp
@@ -27,10 +33,15 @@ from repro.disk.sched import (
     make_scheduler,
 )
 from repro.disk.store import DiskStore
+from repro.disk.volume import (
+    ConcatVolume, MirrorVolume, MultiVolume, SingleVolume, StripeVolume,
+    VolumeMember, VolumeSpec, build_volume,
+)
 
 __all__ = [
     "Buf",
     "BufOp",
+    "ConcatVolume",
     "DeadlineScheduler",
     "DiskDriver",
     "DiskQueue",
@@ -38,9 +49,16 @@ __all__ = [
     "DiskStore",
     "ElevatorScheduler",
     "FifoScheduler",
+    "MirrorVolume",
+    "MultiVolume",
     "RotationalDisk",
     "Scheduler",
+    "SingleVolume",
+    "StripeVolume",
     "TrackBuffer",
+    "VolumeMember",
+    "VolumeSpec",
     "Zone",
+    "build_volume",
     "make_scheduler",
 ]

@@ -45,6 +45,7 @@ class Buf:
         "id", "op", "sector", "nsectors", "data", "async_", "ordered", "fua",
         "done", "iodone", "owner", "issued_at", "started_at", "finished_at",
         "children", "error", "request", "parent_span", "integrity_owner",
+        "member",
     )
 
     def __init__(self, engine: "Engine", op: BufOp, sector: int, nsectors: int,
@@ -85,6 +86,9 @@ class Buf:
         #: (inode, first logical block) of a file write, for integrity
         #: record attribution; None for metadata/raw/untagged writes.
         self.integrity_owner: "tuple[int, int] | None" = None
+        #: Volume member index this transfer was fanned out to; None for
+        #: single-disk requests (labels the disk_io span ``disk_io[mN]``).
+        self.member: "int | None" = None
 
     @property
     def end_sector(self) -> int:

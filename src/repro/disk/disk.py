@@ -423,7 +423,7 @@ class RotationalDisk:
 
         engine = self.engine
         self.stats.incr("faulted_requests")
-        if decision.kind is FaultKind.POWER:
+        if decision.kind in (FaultKind.POWER, FaultKind.DEAD):
             # The electronics are dead: instant failure, volatile cache gone.
             if self.write_cache is not None and self.write_cache.entries:
                 lost = self.write_cache.drop_all()

@@ -35,8 +35,14 @@ class DiskStore:
     def read(self, sector: int, count: int) -> bytes:
         """Read ``count`` sectors starting at ``sector``."""
         self._check_range(sector, count)
-        parts = [self._sectors.get(s, self._zero) for s in range(sector, sector + count)]
-        return b"".join(parts)
+        sectors = self._sectors
+        if not sectors:
+            return bytes(count * self.sector_size)
+        if count == 1:
+            return sectors.get(sector, self._zero)
+        get = sectors.get
+        zero = self._zero
+        return b"".join([get(s, zero) for s in range(sector, sector + count)])
 
     def write(self, sector: int, data: bytes) -> None:
         """Write whole sectors starting at ``sector``."""
@@ -48,12 +54,24 @@ class DiskStore:
         count = len(data) // self.sector_size
         self._check_range(sector, count)
         size = self.sector_size
-        for i in range(count):
-            chunk = bytes(data[i * size:(i + 1) * size])
-            if chunk == self._zero:
-                self._sectors.pop(sector + i, None)
+        sectors = self._sectors
+        zero = self._zero
+        if count == 1:
+            chunk = bytes(data)
+            if chunk == zero:
+                sectors.pop(sector, None)
             else:
-                self._sectors[sector + i] = chunk
+                sectors[sector] = chunk
+            return
+        # Cluster-sized writes slice through a memoryview: the zero
+        # compare costs no copy, and only stored sectors materialize.
+        view = memoryview(data)
+        for i in range(count):
+            chunk = view[i * size:(i + 1) * size]
+            if chunk == zero:
+                sectors.pop(sector + i, None)
+            else:
+                sectors[sector + i] = chunk.tobytes()
 
     def clone(self) -> "DiskStore":
         """An independent copy of the current bytes (a crash snapshot)."""
@@ -81,6 +99,16 @@ class DiskStore:
     def nonzero_sectors(self) -> "list[int]":
         """Sorted sector numbers currently holding non-zero data."""
         return sorted(self._sectors)
+
+    def differing_sectors(self, other: "DiskStore") -> "list[int]":
+        """Sorted sectors whose bytes differ between two same-size stores
+        (what a mirror resync must copy)."""
+        if (other.total_sectors != self.total_sectors
+                or other.sector_size != self.sector_size):
+            raise ValueError("stores differ in size; cannot diff")
+        mine, theirs = self._sectors, other._sectors
+        return sorted(s for s in mine.keys() | theirs.keys()
+                      if mine.get(s) != theirs.get(s))
 
     @property
     def written_sectors(self) -> int:

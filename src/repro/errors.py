@@ -63,6 +63,14 @@ class ChecksumError(DiskError):
         self.reason = reason
 
 
+class MemberDeadError(DiskError):
+    """A volume member died wholesale (electronics failure): every request
+    to it fails instantly and its volatile cache contents are gone.  A
+    redundant volume degrades; anything else surfaces the error."""
+
+    code = "EIO"
+
+
 class DiskTimeoutError(DiskError):
     """The controller stopped responding; the request hung and was failed
     by the driver's timeout handling (ETIMEDOUT)."""

@@ -10,6 +10,10 @@ The fault model lives in two layers per medium:
 * :class:`CrashCampaign` — a seeded sweep of power-cut points over a write
   workload, asserting that fsck detects and repairs every torn-write
   inconsistency and that fsync's durability promise is never broken.
+* :class:`MirrorKillCampaign` — a seeded sweep of mirror-member deaths
+  over a ``mirror:2`` volume, asserting degraded service, zero
+  acknowledged loss from the survivor alone, and byte-identical members
+  after resync.
 * :class:`NetFaultPlan` — the network twin: a seeded schedule of datagram
   drops, duplicates, corruption, reordering, latency spikes, link
   partitions, and server crash/reboot windows injected into
@@ -31,6 +35,9 @@ from repro.faults.campaign import (
 from repro.faults.crashpoints import (
     CrashpointExplorer, CrashpointReport, PRESETS, run_crashpoints,
 )
+from repro.faults.memberkill import (
+    MemberKillStats, MirrorKillCampaign, default_memberkill_config,
+)
 from repro.faults.netcampaign import NetCampaign, NetCampaignStats
 from repro.faults.netplan import NetDecision, NetFaultPlan
 from repro.faults.plan import (
@@ -51,6 +58,9 @@ __all__ = [
     "FaultDecision",
     "FaultKind",
     "FaultPlan",
+    "MemberKillStats",
+    "MirrorKillCampaign",
+    "default_memberkill_config",
     "NetCampaign",
     "NetCampaignStats",
     "NetDecision",

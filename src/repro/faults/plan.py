@@ -38,7 +38,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import (
-    DiskTimeoutError, MediaError, PowerLossError, TransientDiskError,
+    DiskTimeoutError, MediaError, MemberDeadError, PowerLossError,
+    TransientDiskError,
 )
 from repro.sim.stats import StatSet
 
@@ -54,6 +55,9 @@ class FaultKind(enum.Enum):
     MEDIA = "media"
     TIMEOUT = "timeout"
     POWER = "power"
+    #: Whole-device death (a volume member's electronics fail): every
+    #: request from ``die_at`` on fails instantly, volatile cache lost.
+    DEAD = "dead"
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,7 @@ class FaultPlan:
                  timeout_at: Iterable[float] = (),
                  timeout_hang: float = 0.25,
                  power_cut_time: "float | None" = None,
+                 die_at: "float | None" = None,
                  silent_write_p: float = 0.0,
                  silent_write_at: "Iterable[tuple[float, str]]" = (),
                  misdirect_shift: int = 8,
@@ -110,6 +115,8 @@ class FaultPlan:
         self.timeout_hang = timeout_hang
         self.power_cut_time = power_cut_time
         self.powered_off = False
+        self.die_at = die_at
+        self.dead = False
         self.silent_write_p = silent_write_p
         self._silent_at = sorted(silent_write_at)
         self.misdirect_shift = misdirect_shift
@@ -120,6 +127,15 @@ class FaultPlan:
     # -- the injection decision (RotationalDisk.service calls this) ----------
     def decide(self, buf: "Buf", now: float) -> "FaultDecision | None":
         """What, if anything, goes wrong with this service attempt."""
+        if self.dead or (self.die_at is not None and now >= self.die_at):
+            # Checked first (and drawing no dice): adding whole-device
+            # death to a plan cannot shift any other fault's rng sequence.
+            if not self.dead:
+                self.dead = True
+                self.stats.incr("member_deaths")
+            return FaultDecision(
+                FaultKind.DEAD,
+                MemberDeadError(f"device died at t={self.die_at:.6f}"))
         if self.powered_off or (
             self.power_cut_time is not None and now >= self.power_cut_time
         ):

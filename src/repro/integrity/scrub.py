@@ -49,7 +49,8 @@ class ScrubReport:
 
     __slots__ = (
         "frags_scanned", "detected", "repaired", "repaired_from_replica",
-        "repaired_from_cache", "unrepairable", "passes", "details",
+        "repaired_from_cache", "repaired_from_mirror", "unrepairable",
+        "passes", "details",
     )
 
     def __init__(self) -> None:
@@ -58,6 +59,7 @@ class ScrubReport:
         self.repaired = 0
         self.repaired_from_replica = 0
         self.repaired_from_cache = 0
+        self.repaired_from_mirror = 0
         self.unrepairable = 0
         self.passes = 0
         #: One dict per detected fragment: frag, reason, outcome, source.
@@ -70,6 +72,7 @@ class ScrubReport:
             "repaired": self.repaired,
             "repaired_from_replica": self.repaired_from_replica,
             "repaired_from_cache": self.repaired_from_cache,
+            "repaired_from_mirror": self.repaired_from_mirror,
             "unrepairable": self.unrepairable,
             "passes": self.passes,
             "details": list(self.details),
@@ -225,6 +228,10 @@ class Scrubber:
             if data is not None:
                 source = "cache"
         if data is None:
+            data = self._mirror_copy(frag, rec)
+            if data is not None:
+                source = "mirror"
+        if data is None:
             region.mark_bad(frag)
             self.report.unrepairable += 1
             self.stats.incr("unrepairable")
@@ -247,11 +254,30 @@ class Scrubber:
         self.stats.incr("repaired")
         if source == "replica":
             self.report.repaired_from_replica += 1
+        elif source == "mirror":
+            self.report.repaired_from_mirror += 1
         else:
             self.report.repaired_from_cache += 1
         self.report.details.append(
             {"frag": frag, "reason": reason, "outcome": "repaired",
              "source": source, "kind": region.frag_kind(frag)})
+
+    def _mirror_copy(self, frag: int, rec: "Record") -> "bytes | None":
+        """The mirror rung of the repair ladder: another member's copy of
+        the fragment, accepted only if its CRC matches the record.  The
+        repair write then goes back through the volume, overwriting the
+        rotten copy on every live member."""
+        volume = getattr(self.system, "volume", None)
+        if volume is None or getattr(volume, "kind", "") != "mirror":
+            return None
+        fs = self.region.frag_sectors
+        for member in volume.members:
+            if not member.live or member.resyncing:
+                continue
+            data = member.disk.read_through(frag * fs, fs)
+            if zlib.crc32(data) == rec.crc:
+                return data
+        return None
 
     def _cache_copy(self, frag: int, rec: "Record") -> "bytes | None":
         """A clean in-memory copy of the fragment, if its owner file is

@@ -56,6 +56,12 @@ class SystemConfig:
     #: End-to-end integrity: mkfs reserves a checksum region, every media
     #: write is stamped, every read verified (repro.integrity).
     checksums: bool = False
+    #: Block-device layout under the file system: ``single`` (one disk,
+    #: the default), ``concat:N``, ``stripe:N[:chunk=64k]``, or
+    #: ``mirror:N[:read=rr|shortest]`` — see :mod:`repro.disk.volume`.
+    #: The geometry above describes *each member*; multi-member layouts
+    #: present a logical device spanning all of them.
+    layout: str = "single"
 
     def with_(self, **changes: object) -> "SystemConfig":
         return replace(self, **changes)  # type: ignore[arg-type]

@@ -5,9 +5,8 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.cpu import Cpu
-from repro.disk.disk import RotationalDisk
-from repro.disk.driver import DiskDriver
 from repro.disk.store import DiskStore
+from repro.disk.volume import build_volume
 from repro.kernel.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.invariants import Sanitizer
@@ -26,12 +25,14 @@ class System:
 
     def __init__(self, config: SystemConfig | None = None,
                  engine: Engine | None = None,
-                 store: DiskStore | None = None,
+                 store: "DiskStore | list[DiskStore] | None" = None,
                  fault_plan=None):
         """``engine`` lets several machines (e.g. an NFS client and server)
         share one simulated world.  ``store`` boots the machine against
-        existing on-disk bytes (a crash survivor, remounted); ``fault_plan``
-        is a :class:`repro.faults.FaultPlan` injected into the disk."""
+        existing on-disk bytes (a crash survivor, remounted) — one store
+        for the single layout, one per member for multi-member layouts;
+        ``fault_plan`` is a :class:`repro.faults.FaultPlan` injected into
+        the disk (or a per-member list of plans)."""
         self.config = config if config is not None else SystemConfig()
         cfg = self.config
         self.engine = engine if engine is not None else Engine()
@@ -40,28 +41,18 @@ class System:
         #: One registry per machine: every syscall-level I/O request is
         #: opened here, so benchmarks can report per-kind latencies.
         self.requests = RequestRegistry(self.engine, self.tracer)
-        self.store = store if store is not None else DiskStore(
-            cfg.geometry.total_sectors, cfg.geometry.sector_size)
         self.fault_plan = fault_plan
-        write_cache = None
-        if cfg.write_cache:
-            from repro.disk.wcache import VolatileWriteCache
-
-            write_cache = VolatileWriteCache(
-                self.store, cfg.write_cache_bytes,
-                sector_size=cfg.geometry.sector_size)
-        self.write_cache = write_cache
-        self.disk = RotationalDisk(self.engine, cfg.geometry, self.store,
-                                   track_buffer=cfg.track_buffer,
-                                   fault_plan=fault_plan,
-                                   write_cache=write_cache)
-        sched = cfg.scheduler
-        if sched == "elevator" and not cfg.use_disksort:
-            sched = "fifo"  # legacy switch: disksort off = FIFO queue
-        self.driver = DiskDriver(self.engine, self.disk, cpu=self.cpu,
-                                 use_disksort=cfg.use_disksort,
-                                 coalesce=cfg.driver_coalesce,
-                                 scheduler=sched)
+        #: The block-device stack: a SingleVolume facade by default
+        #: (byte-identical to the classic one-disk machine), or a
+        #: concat/stripe/mirror volume per ``cfg.layout``.  ``store``,
+        #: ``disk``, ``driver``, and ``write_cache`` below are the
+        #: volume's kernel-facing views of it.
+        self.volume = build_volume(self.engine, cfg, cpu=self.cpu,
+                                   store=store, fault_plan=fault_plan)
+        self.store = self.volume.store
+        self.write_cache = self.volume.cache_view
+        self.disk = self.volume.disk
+        self.driver = self.volume.device
         reserved_pages = cfg.reserved_memory_bytes // cfg.page_size
         self.pagecache = PageCache(self.engine, cfg.memory_bytes,
                                    page_size=cfg.page_size,
@@ -92,7 +83,7 @@ class System:
             from dataclasses import replace
 
             params = replace(params, checksums=True)
-        sb = mkfs(self.store, self.config.geometry, params)
+        sb = mkfs(self.store, self.volume.geometry, params)
         self.disk.attach_integrity()
         return sb
 
@@ -117,7 +108,8 @@ class System:
         return system
 
     @classmethod
-    def remounted(cls, store: DiskStore, config: SystemConfig | None = None,
+    def remounted(cls, store: "DiskStore | list[DiskStore]",
+                  config: SystemConfig | None = None,
                   fault_plan=None) -> "System":
         """Boot a fresh machine against existing on-disk bytes (no mkfs) —
         how a crash-consistency campaign comes back up after a power cut."""

@@ -156,31 +156,41 @@ class Sanitizer:
             )
 
     # -- check 2: buf refcount / leak -------------------------------------
+    def _drivers(self) -> "list[tuple[str, Any]]":
+        """The kernel-facing device plus, for multi-member volumes, every
+        member driver — buf balance must hold at each layer."""
+        drivers: "list[tuple[str, Any]]" = [("driver", self.system.driver)]
+        volume = getattr(self.system, "volume", None)
+        if volume is not None and len(volume.members) > 1:
+            drivers.extend((m.name, m.driver) for m in volume.members)
+        return drivers
+
     def _check_buf_balance(self, point: str, idle: bool, deep: bool) -> None:
-        driver = self.system.driver
-        if not driver.idle:
-            self.fail(
-                "buf_balance",
-                f"at {point}: quiesced with driver busy "
-                f"(queue={len(driver.queue)}, busy={driver._busy})",
-            )
-        if driver.outstanding:
-            buf = next(iter(driver.outstanding.values()))
-            self.fail(
-                "buf_balance",
-                f"at {point}: {len(driver.outstanding)} buf(s) issued to "
-                f"the driver never completed; first leak: {buf!r} "
-                f"(owner={buf.owner!r})",
-                request=getattr(buf, "request", None),
-            )
-        issued = driver.stats["tracked_issued"]
-        done = driver.stats["tracked_completed"]
-        if issued != done:
-            self.fail(
-                "buf_balance",
-                f"at {point}: {issued:g} bufs issued but {done:g} "
-                "completions recorded (a buf completed twice or vanished)",
-            )
+        for label, driver in self._drivers():
+            if not driver.idle:
+                self.fail(
+                    "buf_balance",
+                    f"at {point}: quiesced with {label} busy "
+                    f"(queue={len(driver.queue)}, busy={driver._busy})",
+                )
+            if driver.outstanding:
+                buf = next(iter(driver.outstanding.values()))
+                self.fail(
+                    "buf_balance",
+                    f"at {point}: {len(driver.outstanding)} buf(s) issued "
+                    f"to {label} never completed; first leak: {buf!r} "
+                    f"(owner={buf.owner!r})",
+                    request=getattr(buf, "request", None),
+                )
+            issued = driver.stats["tracked_issued"]
+            done = driver.stats["tracked_completed"]
+            if issued != done:
+                self.fail(
+                    "buf_balance",
+                    f"at {point}: {label}: {issued:g} bufs issued but "
+                    f"{done:g} completions recorded (a buf completed twice "
+                    "or vanished)",
+                )
 
     # -- check 3: write-throttle conservation ------------------------------
     def _throttles(self) -> Iterable[tuple[str, "WriteThrottle"]]:
@@ -411,32 +421,37 @@ class Sanitizer:
 
     # -- check 7: volatile write-cache accounting ---------------------------
     def _check_write_cache(self, point: str, idle: bool, deep: bool) -> None:
-        cache = getattr(self.system, "write_cache", None)
-        if cache is None:
-            return
-        actual = sum(e.nbytes for e in cache.entries)
-        if cache.bytes != actual:
-            self.fail(
-                "write_cache",
-                f"at {point}: cache byte counter {cache.bytes} != "
-                f"{actual} bytes actually held (accounting leak)",
-            )
-        if idle and cache.bytes > cache.limit_bytes:
-            # Mid-service the cache may transiently exceed its limit while
-            # the triggering write destages room; settled, it must fit.
-            self.fail(
-                "write_cache",
-                f"at {point}: cache holds {cache.bytes} bytes over the "
-                f"{cache.limit_bytes}-byte limit at idle",
-            )
-        for entry in cache.entries:
-            if len(entry.data) != entry.nsectors * cache.sector_size:
+        volume = getattr(self.system, "volume", None)
+        if volume is not None:
+            caches = volume.write_caches()
+        else:
+            cache = getattr(self.system, "write_cache", None)
+            caches = [("cache", cache)] if cache is not None else []
+        for label, cache in caches:
+            actual = sum(e.nbytes for e in cache.entries)
+            if cache.bytes != actual:
                 self.fail(
                     "write_cache",
-                    f"at {point}: entry #{entry.seq} claims "
-                    f"{entry.nsectors} sectors but holds "
-                    f"{len(entry.data)} bytes",
+                    f"at {point}: {label} cache byte counter {cache.bytes} "
+                    f"!= {actual} bytes actually held (accounting leak)",
                 )
+            if idle and cache.bytes > cache.limit_bytes:
+                # Mid-service the cache may transiently exceed its limit
+                # while the triggering write destages room; settled, it
+                # must fit.
+                self.fail(
+                    "write_cache",
+                    f"at {point}: {label} cache holds {cache.bytes} bytes "
+                    f"over the {cache.limit_bytes}-byte limit at idle",
+                )
+            for entry in cache.entries:
+                if len(entry.data) != entry.nsectors * cache.sector_size:
+                    self.fail(
+                        "write_cache",
+                        f"at {point}: {label} entry #{entry.seq} claims "
+                        f"{entry.nsectors} sectors but holds "
+                        f"{len(entry.data)} bytes",
+                    )
 
     # -- check 8: integrity-table audit (deep only) -------------------------
     def _check_integrity(self, point: str, idle: bool, deep: bool) -> None:

@@ -121,8 +121,10 @@ class IORequest:
             return
         finished = buf.finished_at if buf.finished_at is not None else self.engine.now
         started = buf.started_at if buf.started_at is not None else finished
+        member = getattr(buf, "member", None)
         io_span = tracer.record_span(
-            "disk_io", buf.issued_at, finished, parent=buf.parent_span,
+            "disk_io" if member is None else f"disk_io[m{member}]",
+            buf.issued_at, finished, parent=buf.parent_span,
             op=buf.op.value, sector=buf.sector, nsectors=buf.nsectors,
             error=(buf.error.__class__.__name__ if buf.error is not None else None),
         )

@@ -1,0 +1,131 @@
+"""Several DiskQueues coexisting — the volume layer's member queues.
+
+Every member of a multi-member volume owns its own DiskQueue and scheduler
+object.  These tests pin the properties the volume fan-out relies on:
+snapshot/restore and the elevator's pass accounting must stay per-queue
+(no shared state bleeding between members), barriers must hold per member,
+and ``peek_all`` must keep predicting each member's pops independently.
+"""
+
+import pytest
+
+from repro.disk import Buf, BufOp, DiskQueue
+from repro.kernel.config import SystemConfig
+from repro.kernel.syscalls import Proc
+from repro.kernel.system import System
+from repro.sim import Engine
+from repro.units import KB
+
+
+def wbuf(engine, sector, nsectors=2, ordered=False):
+    buf = Buf(engine, BufOp.WRITE, sector, nsectors,
+              data=bytes(nsectors * 512), ordered=ordered)
+    buf.issued_at = 0.0
+    return buf
+
+
+def drain(queue, last_sector=0):
+    order = []
+    while True:
+        buf = queue.pop(last_sector, now=0.0)
+        if buf is None:
+            return order
+        order.append(buf)
+        last_sector = buf.end_sector
+
+
+@pytest.mark.parametrize("name", ["elevator", "fifo", "deadline"])
+def test_snapshot_restore_is_per_queue(name):
+    engine = Engine()
+    queues = [DiskQueue(scheduler=name) for _ in range(3)]
+    for i, queue in enumerate(queues):
+        for sector in (40 + i, 10 + i, 30 + i):
+            queue.insert(wbuf(engine, sector))
+    snaps = [q.snapshot() for q in queues]
+    # Draining one queue must not disturb the others or their snapshots.
+    drained = drain(queues[0])
+    assert len(drained) == 3
+    assert len(queues[0]) == 0
+    assert [len(q) for q in queues[1:]] == [3, 3]
+    queues[0].restore(snaps[0])
+    assert len(queues[0]) == 3
+    assert [b.sector for b in drain(queues[0])] == \
+           [b.sector for b in drained]
+
+
+@pytest.mark.parametrize("name", ["elevator", "fifo", "deadline"])
+def test_peek_all_predicts_pop_per_member(name):
+    engine = Engine()
+    queues = [DiskQueue(scheduler=name) for _ in range(2)]
+    # Interleaved inserts, as the volume fan-out produces them.
+    for sector in (40, 10, 90, 30, 5, 70):
+        queues[sector % 2].insert(wbuf(engine, sector))
+    queues[0].insert(wbuf(engine, 60, ordered=True))
+    queues[0].insert(wbuf(engine, 1))
+    predictions = [q.peek_all(0, 0.0) for q in queues]
+    # Predicting one member must not perturb another member's prediction.
+    assert queues[1].peek_all(0, 0.0) == predictions[1]
+    for queue, predicted in zip(queues, predictions):
+        assert drain(queue) == predicted
+
+
+def test_barriers_hold_per_member_queue():
+    engine = Engine()
+    queues = [DiskQueue(scheduler="elevator") for _ in range(2)]
+    pre = [wbuf(engine, s) for s in (40, 10)]
+    barrier = wbuf(engine, 90, ordered=True)
+    post = [wbuf(engine, s) for s in (5, 50)]
+    for buf in pre + [barrier] + post:
+        queues[0].insert(buf)
+    # The sibling queue holds sort-happy traffic but no barrier.
+    for sector in (80, 20, 60):
+        queues[1].insert(wbuf(engine, sector))
+    order = drain(queues[0])
+    assert set(order[:2]) == set(pre)
+    assert order[2] is barrier
+    assert set(order[3:]) == set(post)
+    # The barrier in queue 0 never leaked into queue 1's ordering.
+    assert [b.sector for b in drain(queues[1])] == [20, 60, 80]
+
+
+def test_elevator_pass_accounting_is_per_queue():
+    engine = Engine()
+    queues = [DiskQueue(scheduler="elevator") for _ in range(2)]
+    for queue in queues:
+        for sector in (100, 50, 10):
+            queue.insert(wbuf(engine, sector))
+    # A pop with the head past sectors 10 and 50 passes both over in
+    # queue 0; queue 1's elevator must not see those passes.
+    served = queues[0].pop(60, now=0.0)
+    assert served.sector == 100
+    assert len(queues[0]._passes) == 2
+    assert len(queues[1]._passes) == 0
+    queues[1].pop(60, now=0.0)
+    assert len(queues[1]._passes) == 2
+    assert queues[0]._passes is not queues[1]._passes
+
+
+def test_volume_member_queues_are_distinct_objects():
+    system = System.booted(SystemConfig(layout="stripe:4"))
+    queues = [m.driver.queue for m in system.volume.members]
+    assert len({id(q) for q in queues}) == 4
+    assert len({id(q.scheduler) for q in queues}) == 4
+
+
+def test_member_queues_fill_and_drain_under_load():
+    """A striped write burst exercises all member queues concurrently, and
+    the volume's queue view sums them."""
+    system = System.booted(SystemConfig(layout="stripe:2"))
+    proc = Proc(system, name="t")
+
+    def work():
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"\x99" * (512 * KB))
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    system.run(work())
+    assert len(system.volume.queue) == 0
+    for member in system.volume.members:
+        assert member.driver.idle
+        assert member.driver.stats["requests"] > 0
