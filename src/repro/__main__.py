@@ -29,12 +29,21 @@ Commands:
 * ``simcheck [--file-mb 4] [--json PATH]`` — the determinism differ: run
   IObench twice with the sanitizer on and demand identical stable trace
   digests;
+* ``bench [--configs AC] [--json [PATH]] [--baseline PATH]`` — the
+  unified perf bench: one schema-versioned BENCH.json (rates + metrics
+  snapshot + layer time attribution), byte-identical across same-seed
+  runs, optionally gated against a committed baseline (exit 1 on a >10%
+  headline regression or attribution blowup);
 * ``demo`` — a short guided tour (quickstart + fsck).
 
 ``iobench``, ``faultcampaign``, and ``netcampaign`` accept ``--sanitize``
 to run with the cross-layer invariant sanitizer enabled (see
 ``repro.sim.invariants``); the ``REPRO_SANITIZE`` environment variable
 sets the default.
+
+Every command with ``--json`` accepts it bare (or as ``--json -``) to
+write the JSON document to **stdout** with all human progress routed to
+stderr, so ``python -m repro <cmd> --json | jq .`` just works.
 """
 
 from __future__ import annotations
@@ -43,10 +52,28 @@ import argparse
 import sys
 
 
+def _emit(args: argparse.Namespace):
+    """The human-output printer for commands that take ``--json``.
+
+    When the JSON document itself goes to stdout (``--json -``), every
+    progress/verdict line moves to stderr so stdout stays parseable.
+    """
+    if getattr(args, "json", "") == "-":
+        return lambda *a, **k: print(*a, file=sys.stderr, **k)
+    return print
+
+
+def _add_json_flag(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument(
+        "--json", nargs="?", const="-", default="", metavar="PATH",
+        help=help_text + " (bare --json writes it to stdout; human "
+                         "output then goes to stderr)")
+
+
 def _cmd_iobench(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from repro.bench.iobench import IObench
+    from repro.bench.iobench import IObench, format_member_table
     from repro.bench.report import PAPER_FIGURE_10, compare_to_paper, ratio_table
     from repro.kernel import SystemConfig
     from repro.units import MB
@@ -60,6 +87,7 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
           f"({args.file_mb} MB file; this simulates a few minutes of 1991)...")
     results = {}
     benches = []
+    pipelines = []
     for name in names:
         config = SystemConfig.by_name(name)
         overrides = {}
@@ -72,8 +100,11 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
         bench = IObench(config, file_size=args.file_mb * MB,
                         trace_phase="FSR" if tracing and not benches else None,
                         sanitize=True if args.sanitize else None)
-        results[name] = bench.run().rates
+        full = bench.run()
+        results[name] = full.rates
         benches.append(bench)
+        if not pipelines:
+            pipelines.append(full.pipeline)
     print()
     print(compare_to_paper(results, PAPER_FIGURE_10, "Figure 10 (KB/s)"))
     if len(results) > 1 and "A" in results:
@@ -91,6 +122,10 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
               f"mean={summary['mean'] * 1e3:8.3f}ms "
               f"p95={summary['p95'] * 1e3:8.3f}ms "
               f"p99={summary['p99'] * 1e3:8.3f}ms")
+    members = pipelines[0].get("members") if pipelines else None
+    if members:
+        print(f"\nper-member pipeline (config {names[0]}):")
+        print(format_member_table(members))
     if tracing:
         tracer = first.system.tracer
         lines = tracer.export_jsonl(args.trace_jsonl)
@@ -154,60 +189,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_json(path: str, document: dict) -> None:
+def _write_json(path: str, document: dict, say=print) -> None:
     import json
 
+    if path == "-":
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return
     with open(path, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {path}")
+    say(f"wrote {path}")
 
 
 def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     from repro.faults import CrashCampaign
 
+    say = _emit(args)
     if args.cuts < 1:
         print("faultcampaign: --cuts must be >= 1", file=sys.stderr)
         return 2
     campaign = CrashCampaign(cuts=args.cuts, seed=args.seed,
                              trace=args.trace,
                              sanitize=True if args.sanitize else None)
-    print(f"running {args.cuts} seeded power cuts (seed={args.seed})...")
+    say(f"running {args.cuts} seeded power cuts (seed={args.seed})...")
     stats = campaign.run()
-    print(stats)
+    say(stats)
     if args.trace:
         for record in campaign.trace_records:
             if record.tag == "power_cut":
-                print(record.describe())
+                say(record.describe())
     if args.json:
-        _write_json(args.json, campaign.to_json())
+        _write_json(args.json, campaign.to_json(), say)
     failed = (stats.silent_corruptions > 0
               or stats.clean_after_repair < stats.cuts)
     if failed:
-        print("FAILED: corruption or unrepaired damage detected")
+        say("FAILED: corruption or unrepaired damage detected")
     return 1 if failed else 0
 
 
 def _cmd_netcampaign(args: argparse.Namespace) -> int:
     from repro.faults import NetCampaign
 
+    say = _emit(args)
     if args.seeds < 1:
         print("netcampaign: --seeds must be >= 1", file=sys.stderr)
         return 2
     campaign = NetCampaign(seeds=args.seeds, base_seed=args.seed,
                            sanitize=True if args.sanitize else None)
-    print(f"running {args.seeds} seeded network-fault schedules "
-          f"(base seed={args.seed}) over an NFS workload...")
+    say(f"running {args.seeds} seeded network-fault schedules "
+        f"(base seed={args.seed}) over an NFS workload...")
     stats = campaign.run()
-    print(stats)
+    say(stats)
     if args.json:
-        _write_json(args.json, campaign.to_json())
+        _write_json(args.json, campaign.to_json(), say)
     if not stats.ok:
-        print("FAILED: an RPC-hardening invariant was violated")
+        say("FAILED: an RPC-hardening invariant was violated")
         return 1
     if stats.retransmits == 0 or stats.drc_hits == 0:
-        print("FAILED: the sweep never exercised retransmission / the "
-              "duplicate-request cache (fault injection inert?)")
+        say("FAILED: the sweep never exercised retransmission / the "
+            "duplicate-request cache (fault injection inert?)")
         return 1
     return 0
 
@@ -215,20 +256,21 @@ def _cmd_netcampaign(args: argparse.Namespace) -> int:
 def _cmd_memberkill(args: argparse.Namespace) -> int:
     from repro.faults import MirrorKillCampaign
 
+    say = _emit(args)
     if args.seeds < 1:
         print("memberkill: --seeds must be >= 1", file=sys.stderr)
         return 2
     campaign = MirrorKillCampaign(seeds=args.seeds, base_seed=args.seed,
                                   sanitize=True if args.sanitize else None)
-    print(f"killing one mirror member per seed ({args.seeds} seeds, "
-          f"base seed={args.seed}): degraded reads, zero acknowledged "
-          "loss, resync back to byte-identical members...")
+    say(f"killing one mirror member per seed ({args.seeds} seeds, "
+        f"base seed={args.seed}): degraded reads, zero acknowledged "
+        "loss, resync back to byte-identical members...")
     stats = campaign.run()
-    print(stats)
+    say(stats)
     if args.json:
-        _write_json(args.json, campaign.to_json())
+        _write_json(args.json, campaign.to_json(), say)
     if not stats.ok:
-        print("FAILED: a mirror-redundancy invariant was violated")
+        say("FAILED: a mirror-redundancy invariant was violated")
         return 1
     return 0
 
@@ -236,57 +278,64 @@ def _cmd_memberkill(args: argparse.Namespace) -> int:
 def _cmd_crashpoints(args: argparse.Namespace) -> int:
     from repro.faults import PRESETS, run_crashpoints
 
+    say = _emit(args)
     preset = PRESETS.get(args.preset)
     if preset is None:
         print(f"crashpoints: unknown preset {args.preset!r} "
               f"(have {', '.join(sorted(PRESETS))})", file=sys.stderr)
         return 2
-    print(f"exploring crash states of preset {preset.name!r} "
-          f"(seed={args.seed}): {preset.description}...")
+    say(f"exploring crash states of preset {preset.name!r} "
+        f"(seed={args.seed}): {preset.description}...")
     report = run_crashpoints(
         preset=args.preset, seed=args.seed,
         sanitize=True if args.sanitize else None,
         max_states=args.max_states,
-        json_path=args.json or None)
+        json_path=args.json if args.json not in ("", "-") else None)
     d = report.to_json()
     for key in ("journal_events", "contract_events", "durability_points",
                 "crash_points", "raw_states", "distinct_states",
                 "fsck_repairs"):
-        print(f"{key:22} {d[key]}")
-    print(f"{'digest':22} {report.digest}")
+        say(f"{key:22} {d[key]}")
+    say(f"{'digest':22} {report.digest}")
     if report.states_truncated:
-        print(f"NOTE: enumeration truncated at --max-states="
-              f"{args.max_states}; coverage is partial")
-    if args.json:
-        print(f"wrote {args.json}")
+        say(f"NOTE: enumeration truncated at --max-states="
+            f"{args.max_states}; coverage is partial")
+    if args.json == "-":
+        _write_json("-", d, say)
+    elif args.json:
+        say(f"wrote {args.json}")
     if not report.ok:
-        print(f"FAILED: {len(report.violations)} durability-contract "
-              "violation(s)")
+        say(f"FAILED: {len(report.violations)} durability-contract "
+            "violation(s)")
         for v in report.violations[:10]:
-            print(f"  [{v.category}] {v.detail} (crash point "
-                  f"{v.event_index}, torn={v.torn})")
+            say(f"  [{v.category}] {v.detail} (crash point "
+                f"{v.event_index}, torn={v.torn})")
             for span in v.spans[:1]:
-                print("    " + span.replace("\n", "\n    "))
+                say("    " + span.replace("\n", "\n    "))
         return 1
-    print("OK: every distinct crash state repaired, remounted, and kept "
-          "its durability promises")
+    say("OK: every distinct crash state repaired, remounted, and kept "
+        "its durability promises")
     return 0
 
 
 def _cmd_scrubcampaign(args: argparse.Namespace) -> int:
     from repro.integrity import run_scrubcampaign
 
-    print(f"injecting seeded silent corruption and scrubbing "
-          f"(seed={args.seed})...")
+    say = _emit(args)
+    say(f"injecting seeded silent corruption and scrubbing "
+        f"(seed={args.seed})...")
     campaign = run_scrubcampaign(
         seed=args.seed, sanitize=True if args.sanitize else None,
-        json_path=args.json or None)
+        json_path=args.json if args.json not in ("", "-") else None,
+        out=say)
+    if args.json == "-":
+        _write_json("-", campaign.to_json(), say)
     if not campaign.stats.ok:
-        print("FAILED: a corruption went undetected, misrepaired, or "
-              "surfaced without EIO semantics")
+        say("FAILED: a corruption went undetected, misrepaired, or "
+            "surfaced without EIO semantics")
         return 1
-    print("OK: every injected corruption detected; repairable ones "
-          "repaired byte-exact, the rest surfaced as precise EIO")
+    say("OK: every injected corruption detected; repairable ones "
+        "repaired byte-exact, the rest surfaced as precise EIO")
     return 0
 
 
@@ -296,7 +345,44 @@ def _cmd_simcheck(args: argparse.Namespace) -> int:
     return run_simcheck(config_name=args.config.upper(),
                         file_mb=args.file_mb, random_ops=args.ops,
                         trace_phase=args.trace_phase, seed=args.seed,
-                        json_path=args.json or None)
+                        json_path=args.json or None, out=_emit(args))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.bench import canonical_json, diff_documents, run_bench
+    from repro.obs.gate import check_gate
+
+    say = _emit(args)
+    say(f"running the unified bench on configurations "
+        f"{', '.join(args.configs.upper())} ({args.file_mb} MB file, "
+        f"{args.ops} random ops, seed {args.seed}; tracing every phase)...")
+    document = run_bench(configs=args.configs.upper(), file_mb=args.file_mb,
+                         random_ops=args.ops, seed=args.seed,
+                         scheduler=args.scheduler or None,
+                         layout=args.layout or None, out=say)
+    say(f"bench id {document['id']}")
+    if args.json == "-":
+        sys.stdout.write(canonical_json(document))
+    elif args.json:
+        with open(args.json, "w") as fh:
+            fh.write(canonical_json(document))
+        say(f"wrote {args.json}")
+    if not args.baseline:
+        return 0
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    if args.diff:
+        lines = diff_documents(baseline, document)
+        say(f"diff against {args.baseline} (baseline -> current):")
+        for line in lines or ["  (documents agree)"]:
+            say(f"  {line}" if not line.startswith("  ") else line)
+    gate = check_gate(document, baseline,
+                      rate_tolerance=args.rate_tolerance,
+                      share_tolerance=args.share_tolerance)
+    say(gate.render())
+    return 0 if gate.ok else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -356,8 +442,7 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="print a per-cut trace summary")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on")
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write per-cut outcomes and repair actions to PATH")
+    _add_json_flag(p, "write per-cut outcomes and repair actions to PATH")
     p.set_defaults(fn=_cmd_faultcampaign)
 
     p = sub.add_parser("netcampaign",
@@ -368,8 +453,7 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="base seed (schedules use seed..seed+seeds-1)")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on")
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write per-seed outcomes to PATH")
+    _add_json_flag(p, "write per-seed outcomes to PATH")
     p.set_defaults(fn=_cmd_netcampaign)
 
     p = sub.add_parser("memberkill",
@@ -381,8 +465,7 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="base seed (kills use seed..seed+seeds-1)")
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on")
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write per-seed outcomes to PATH")
+    _add_json_flag(p, "write per-seed outcomes to PATH")
     p.set_defaults(fn=_cmd_memberkill)
 
     p = sub.add_parser("crashpoints",
@@ -398,8 +481,7 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on "
                         "(recording and every survivor)")
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write the full report (violations included) to PATH")
+    _add_json_flag(p, "write the full report (violations included) to PATH")
     p.set_defaults(fn=_cmd_crashpoints)
 
     p = sub.add_parser("scrubcampaign",
@@ -408,9 +490,8 @@ def main(argv: "list[str] | None" = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sanitize", action="store_true",
                    help="run with the cross-layer invariant sanitizer on")
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write per-injection outcomes and the seed-stable "
-                        "digest to PATH")
+    _add_json_flag(p, "write per-injection outcomes and the seed-stable "
+                      "digest to PATH")
     p.set_defaults(fn=_cmd_scrubcampaign)
 
     p = sub.add_parser("simcheck",
@@ -424,10 +505,35 @@ def main(argv: "list[str] | None" = None) -> int:
                    choices=["FSR", "FSU", "FSW", "FRR", "FRU"],
                    help="which phase to trace and digest (default FSW)")
     p.add_argument("--seed", type=int, default=1991)
-    p.add_argument("--json", default="", metavar="PATH",
-                   help="write both runs' digests/rates/counts and the "
-                        "verdict to PATH")
+    _add_json_flag(p, "write both runs' digests/rates/counts and the "
+                      "verdict to PATH")
     p.set_defaults(fn=_cmd_simcheck)
+
+    p = sub.add_parser("bench",
+                       help="unified perf bench: BENCH.json + optional "
+                            "gate against a committed baseline")
+    p.add_argument("--configs", default="AC",
+                   help="figure 9 configurations to run (default AC)")
+    p.add_argument("--file-mb", type=int, default=4)
+    p.add_argument("--ops", type=int, default=512,
+                   help="random operations per random phase (default 512)")
+    p.add_argument("--seed", type=int, default=1991)
+    p.add_argument("--scheduler", default="",
+                   choices=["", "elevator", "fifo", "deadline"],
+                   help="override the disk scheduler for every config")
+    p.add_argument("--layout", default="",
+                   help="override the block-device layout for every config")
+    p.add_argument("--baseline", default="", metavar="PATH",
+                   help="gate against this committed BENCH.json; exit 1 "
+                        "on regression")
+    p.add_argument("--diff", action="store_true",
+                   help="print per-quantity deltas against the baseline")
+    p.add_argument("--rate-tolerance", type=float, default=0.10,
+                   help="allowed headline-rate drop (default 0.10)")
+    p.add_argument("--share-tolerance", type=float, default=0.10,
+                   help="allowed attribution-share growth (default 0.10)")
+    _add_json_flag(p, "write the BENCH document to PATH")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("demo", help="guided quickstart")
     p.set_defaults(fn=_cmd_demo)

@@ -56,8 +56,8 @@ class IObench:
                  sanitize: "bool | None" = None):
         if file_size % record_size:
             raise ValueError("file size must be a multiple of the record size")
-        if trace_phase is not None and trace_phase not in PHASES:
-            raise ValueError(f"trace_phase must be one of {PHASES}")
+        if trace_phase is not None and trace_phase not in PHASES + ("*",):
+            raise ValueError(f"trace_phase must be one of {PHASES} or '*'")
         self.config = config
         self.file_size = file_size
         self.record_size = record_size
@@ -66,6 +66,8 @@ class IObench:
         self.path = path
         #: Enable the tracer (spans + records) for exactly this phase, so
         #: the trace stays bounded: one phase's span trees, not five.
+        #: ``"*"`` traces every phase — what ``python -m repro bench``
+        #: needs to attribute the whole run's time, at ~5x trace volume.
         self.trace_phase = trace_phase
         #: Force the invariant sanitizer on (True) or off (False) for this
         #: run; None keeps the REPRO_SANITIZE environment default.
@@ -76,7 +78,7 @@ class IObench:
     # -- phases ---------------------------------------------------------------
     def _timed(self, system: System, gen, nbytes: int,
                result: IObenchResult, phase: str) -> None:
-        tracing = self.trace_phase == phase
+        tracing = self.trace_phase in ("*", phase)
         if tracing:
             system.tracer.enabled = True
         # Snapshot the registry so this phase's table reports only its own
@@ -120,6 +122,14 @@ class IObench:
                     "name": m.driver.name,
                     "requests": m.driver.stats["requests"],
                     "bytes": m.driver.stats["bytes"],
+                    # A member can finish a run with zero I/Os (a concat
+                    # tail the file never reached, a mirror member the
+                    # read policy skipped) — its average is undefined,
+                    # not a ZeroDivisionError.  Renderers show "-".
+                    "avg_io_bytes": (
+                        m.driver.stats["bytes"] / m.driver.stats["requests"]
+                        if m.driver.stats["requests"] else None
+                    ),
                     "queue_depth": {
                         "avg": m.driver.queue_depth.average(),
                         "max": m.driver.queue_depth.maximum,
@@ -212,6 +222,23 @@ class IObench:
                     result, "FRU")
         result.pipeline = self._pipeline_report(system)
         return result
+
+
+def format_member_table(members: "list[dict[str, Any]]") -> str:
+    """Render the per-member pipeline rows as a fixed-width table.
+
+    ``avg_io_bytes`` is None for a member that served no I/O (see
+    :meth:`IObench._pipeline_report`); it renders as ``-``.
+    """
+    lines = [f"  {'member':8s} {'requests':>9s} {'bytes':>12s} "
+             f"{'avg io':>9s} {'qdepth':>7s}"]
+    for m in members:
+        avg = m.get("avg_io_bytes")
+        avg_text = "-" if avg is None else f"{avg / KB:.1f}K"
+        lines.append(f"  {m['name']:8s} {m['requests']:>9.0f} "
+                     f"{m['bytes']:>12.0f} {avg_text:>9s} "
+                     f"{m['queue_depth']['avg']:>7.2f}")
+    return "\n".join(lines)
 
 
 def run_configs(names: "list[str]" = list("ABCD"),

@@ -23,15 +23,20 @@ if TYPE_CHECKING:  # pragma: no cover
 class WriteThrottle:
     """The inode's counting semaphore over bytes in the write queue."""
 
-    def __init__(self, engine: "Engine", limit: int, owner: str = ""):
+    def __init__(self, engine: "Engine", limit: int, owner: str = "",
+                 stats: "Any | None" = None):
         """``limit`` in bytes; 0 disables throttling entirely.  ``owner``
-        labels the file this throttle belongs to in sanitizer reports."""
+        labels the file this throttle belongs to in sanitizer reports.
+        ``stats`` is an optional shared :class:`~repro.sim.stats.StatSet`
+        (one per mount) that consolidates every inode's throttle activity
+        for the metrics registry."""
         if limit < 0:
             raise ValueError("limit must be >= 0")
         self.engine = engine
         self.limit = limit
         self.value = limit
         self.owner = owner
+        self.stats = stats
         self._waiters: list[Event] = []
         self._drain_waiters: list[Event] = []
         self.sleeps = 0
@@ -55,6 +60,8 @@ class WriteThrottle:
             raise ValueError("nbytes must be >= 0")
         if self.enabled:
             self.value -= nbytes
+            if self.stats is not None:
+                self.stats.incr("bytes_taken", nbytes)
 
     def wait_ok(self) -> Generator[Event, Any, None]:
         """Sleep until the semaphore is non-negative again."""
@@ -62,6 +69,8 @@ class WriteThrottle:
             return
         while self.value < 0:
             self.sleeps += 1
+            if self.stats is not None:
+                self.stats.incr("sleeps")
             ev = Event(self.engine, name="write-limit")
             self._waiters.append(ev)
             yield ev

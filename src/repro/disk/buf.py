@@ -45,7 +45,7 @@ class Buf:
         "id", "op", "sector", "nsectors", "data", "async_", "ordered", "fua",
         "done", "iodone", "owner", "issued_at", "started_at", "finished_at",
         "children", "error", "request", "parent_span", "integrity_owner",
-        "member",
+        "member", "seek_rot_time", "xfer_time",
     )
 
     def __init__(self, engine: "Engine", op: BufOp, sector: int, nsectors: int,
@@ -89,6 +89,13 @@ class Buf:
         #: Volume member index this transfer was fanned out to; None for
         #: single-disk requests (labels the disk_io span ``disk_io[mN]``).
         self.member: "int | None" = None
+        #: Mechanical-position time charged to this transfer: seeks, head
+        #: switches, rotational latency, track-buffer fill waits.  Filled
+        #: by the disk during service; the request layer turns the pair
+        #: into rotation_seek / transfer spans for time attribution.
+        self.seek_rot_time = 0.0
+        #: Time the bytes actually moved (media sector times, bus time).
+        self.xfer_time = 0.0
 
     @property
     def end_sector(self) -> int:

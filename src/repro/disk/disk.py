@@ -225,6 +225,7 @@ class RotationalDisk:
                     f"write buf data length {len(buf.data)} != {buf.nbytes}"
                 )
             # The forbidden fast ack: bus transfer only, no media time.
+            buf.xfer_time += buf.nbytes / self.bus_rate
             yield engine.timeout(buf.nbytes / self.bus_rate)
             plan = self.fault_plan
             if plan is not None and plan.cuts_power_during(buf.started_at,
@@ -249,7 +250,7 @@ class RotationalDisk:
                 # Stream from the (still filling) look-ahead buffer; the
                 # run may cross track boundaries, as the fill does.
                 run = min(remaining, self.track_buffer._limit() - sector)
-                yield from self._buffer_read(sector, run, first_segment)
+                yield from self._buffer_read(buf, sector, run, first_segment)
                 cyl, head, _ = geom.to_chs(sector + run - 1)
             else:
                 cyl, head, idx = geom.to_chs(sector)
@@ -444,7 +445,7 @@ class RotationalDisk:
         yield engine.timeout(self.controller_overhead)
         raise decision.error
 
-    def _buffer_read(self, sector: int, run: int,
+    def _buffer_read(self, buf: Buf, sector: int, run: int,
                      first_segment: bool) -> Generator[Event, Any, None]:
         """Serve ``run`` sectors from the (possibly still filling) buffer."""
         engine = self.engine
@@ -457,7 +458,12 @@ class RotationalDisk:
         available_at = tb.availability(sector + run - 1)
         finish = max(engine.now + bus_time, available_at)
         wait = finish - engine.now
-        self.stats.incr("buffer_fill_wait", max(0.0, available_at - engine.now - bus_time))
+        fill_wait = max(0.0, available_at - engine.now - bus_time)
+        self.stats.incr("buffer_fill_wait", fill_wait)
+        buf.xfer_time += bus_time
+        # Waiting for the platter to rotate sectors into the buffer is
+        # rotational time, even though the head never moved.
+        buf.seek_rot_time += fill_wait
         tb.consume(sector + run)
         if wait > 0:
             yield engine.timeout(wait)
@@ -473,13 +479,17 @@ class RotationalDisk:
             seek = geom.seek_time(self._cyl, cyl)
             self.stats.incr("seeks")
             self.stats.incr("seek_time", seek)
+            buf.seek_rot_time += seek
             yield engine.timeout(seek)
         elif head != self._head:
             self.stats.incr("head_switches")
+            buf.seek_rot_time += geom.head_switch_time
             yield engine.timeout(geom.head_switch_time)
         wait = geom.rotational_wait(engine.now, cyl, head, idx)
         self.stats.incr("rotational_wait", wait)
         transfer = run * geom.sector_time(cyl)
         self.stats.incr("transfer_time", transfer)
+        buf.seek_rot_time += wait
+        buf.xfer_time += transfer
         yield engine.timeout(wait + transfer)
         # (The service loop restarts the look-ahead fill for reads.)

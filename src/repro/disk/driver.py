@@ -229,6 +229,15 @@ class DiskDriver:
         """Name of the active queue scheduler (for reports)."""
         return self.queue.scheduler.name
 
+    def register_metrics(self, registry, ns: str) -> None:
+        """Report this driver's instruments into a MetricsRegistry:
+        counters at ``ns``, gauges/histograms at ``ns.*``."""
+        registry.register(ns, self.stats)
+        registry.register(f"{ns}.queue_depth", self.queue_depth)
+        registry.register(f"{ns}.queue_bytes", self.queue_bytes)
+        registry.register(f"{ns}.wait", self.wait_hist)
+        registry.register(f"{ns}.service", self.service_hist)
+
     # -- kernel-facing API ---------------------------------------------------
     def strategy(self, buf: Buf) -> Buf:
         """Enqueue a request.  Returns the buf actually queued (which may be

@@ -22,6 +22,11 @@ class DiskStore:
         self.sector_size = sector_size
         self._sectors: dict[int, bytes] = {}
         self._zero = bytes(sector_size)
+        #: Bumped every time a System is built over this store.  Background
+        #: daemons capture the epoch at start and stand down when it moves —
+        #: a remount means the machine they were pacing no longer owns the
+        #: bytes.
+        self.attach_epoch = 0
 
     def _check_range(self, sector: int, count: int) -> None:
         if count <= 0:

@@ -250,6 +250,14 @@ class SingleVolume:
     def describe(self) -> str:
         return "single"
 
+    def register_metrics(self, registry) -> None:
+        """Report the one-disk stack into a system MetricsRegistry."""
+        member = self.members[0]
+        member.driver.register_metrics(registry, "disk.driver")
+        registry.register("disk.mech", member.disk.stats)
+        if member.write_cache is not None:
+            member.write_cache.register_metrics(registry, "disk.wcache")
+
 
 # ---------------------------------------------------------------------------
 # logical views: store, cache, integrity
@@ -618,6 +626,23 @@ class MultiVolume:
     def write_caches(self) -> "list[tuple[str, Any]]":
         return [(m.name, m.write_cache) for m in self.members
                 if m.write_cache is not None]
+
+    def register_metrics(self, registry) -> None:
+        """Report the volume and every member spindle into a system
+        MetricsRegistry: the fan-out/join layer at ``volume``, member
+        ``i``'s stack under ``disk.m{i}``."""
+        registry.register("volume", self.stats)
+        registry.register("volume.queue_depth", self.queue_depth)
+        registry.register("volume.queue_bytes", self.queue_bytes)
+        registry.register("volume.wait", self.wait_hist)
+        registry.register("volume.service", self.service_hist)
+        for member in self.members:
+            prefix = f"disk.m{member.index}"
+            member.driver.register_metrics(registry, f"{prefix}.driver")
+            registry.register(f"{prefix}.mech", member.disk.stats)
+            if member.write_cache is not None:
+                member.write_cache.register_metrics(registry,
+                                                    f"{prefix}.wcache")
 
     def strategy(self, buf: Buf) -> Buf:
         self.stats.incr("requests")

@@ -122,6 +122,10 @@ class VolatileWriteCache:
         self.stats = StatSet("wcache")
         self._seq = 0
 
+    def register_metrics(self, registry, ns: str) -> None:
+        """Report the cache's counters into a MetricsRegistry at ``ns``."""
+        registry.register(ns, self.stats)
+
     # -- write plane -------------------------------------------------------
     def write(self, buf: "Buf") -> CacheEntry:
         """Accept a completed (volatile) write into the cache."""

@@ -341,6 +341,13 @@ class ScrubDaemon:
         self.stats = self.scrubber.stats
         self.running = False
         self._proc = None
+        #: Each member store's attach epoch when this daemon was created.
+        #: A later System built over the same bytes (remount, crash
+        #: survivor) bumps the epochs; a tick that sees a mismatch stands
+        #: the daemon down instead of scrubbing a machine it no longer
+        #: owns — its repairs would race the new system's I/O.
+        self._store_epochs = [m.store.attach_epoch
+                              for m in system.volume.members]
 
     @property
     def report(self) -> ScrubReport:
@@ -355,10 +362,21 @@ class ScrubDaemon:
     def stop(self) -> None:
         self.running = False
 
+    @property
+    def stale(self) -> bool:
+        """True once another System has been built over our stores."""
+        return any(m.store.attach_epoch != epoch
+                   for m, epoch in zip(self.system.volume.members,
+                                       self._store_epochs))
+
     def _run(self) -> Generator[Any, Any, None]:
         while self.running:
             yield self.system.engine.timeout(self.interval, daemon=True)
             if not self.running:
+                return
+            if self.stale:
+                self.stats.incr("stale_system_stops")
+                self.running = False
                 return
             if (self.system.requests.inflight.value
                     > self.scrubber.inflight_limit):

@@ -8,6 +8,7 @@ from repro.cpu import Cpu
 from repro.disk.store import DiskStore
 from repro.disk.volume import build_volume
 from repro.kernel.config import SystemConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.invariants import Sanitizer
 from repro.sim.request import RequestRegistry
@@ -64,6 +65,19 @@ class System:
         )
         self.mount: UfsMount | None = None
         self.raw_disk = RawDiskVnode(self.engine, self.driver, self.cpu)
+        #: The unified metrics registry: every layer's counters, gauges,
+        #: and histograms behind one namespaced snapshot()/to_json() view.
+        self.metrics = MetricsRegistry(self.engine)
+        self.metrics.register("cpu", self.cpu.ledger)
+        self.requests.register_metrics(self.metrics)
+        self.volume.register_metrics(self.metrics)
+        self.pagecache.register_metrics(self.metrics)
+        #: Background daemons started on this machine (scrub today); a
+        #: remount over the same stores neutralizes them via the stores'
+        #: attach epochs, and shutdown_daemons() stops them explicitly.
+        self.daemons: list = []
+        for member in self.volume.members:
+            member.store.attach_epoch += 1
         #: Durability-point listeners: called as ``cb(kind, vnode)`` after
         #: every acknowledged durability point (fsync, O_SYNC write) — the
         #: crash-point recorder snapshots declared-durable state here.
@@ -96,6 +110,8 @@ class System:
             ordered_metadata=self.config.ordered_metadata,
         )
         yield from self.mount.activate()
+        if "ufs" not in self.metrics:
+            self.mount.register_metrics(self.metrics)
         return self.mount
 
     @classmethod
@@ -160,4 +176,12 @@ class System:
                              batch_frags=batch_frags,
                              inflight_limit=inflight_limit)
         daemon.start()
+        self.daemons.append(daemon)
+        # replace=True: a restarted daemon takes over the namespace.
+        self.metrics.register("scrub", daemon.stats, replace=True)
         return daemon
+
+    def shutdown_daemons(self) -> None:
+        """Stop every background daemon started on this machine."""
+        for daemon in self.daemons:
+            daemon.stop()

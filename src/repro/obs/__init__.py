@@ -1,0 +1,41 @@
+"""Performance observability: one registry, one attribution table, one gate.
+
+The paper's whole argument is quantitative — figure-by-figure transfer
+rates and CPU-per-byte — so the reproduction's perf story has to be held
+to the same standard.  This package gives it three legs:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` attached to every
+  :class:`~repro.kernel.system.System`, consolidating the per-layer
+  counters, gauges, and histograms (driver retries, page-cache hits,
+  throttle waits, write-cache destages, checksum errors, scrub progress,
+  per-volume-member I/O) behind one namespaced ``snapshot()`` /
+  ``to_json()`` view;
+* :mod:`repro.obs.attrib` — per-layer *time attribution* computed from the
+  request span trees: for any traced run, a table of where simulated time
+  went (cpu / queue_wait / rotation_seek / transfer / throttle_wait /
+  rpc) per request kind;
+* :mod:`repro.obs.bench` + :mod:`repro.obs.gate` — the ``python -m repro
+  bench`` orchestrator emitting one schema-versioned ``BENCH.json``
+  (byte-identical across same-seed runs), a differ for two such
+  documents, and the CI perf gate that fails on headline-rate regressions
+  or attribution blowups against a committed baseline.
+"""
+
+from repro.obs.attrib import (
+    ATTRIBUTION_CATEGORIES, attribution_table, render_attribution,
+)
+from repro.obs.bench import BENCH_SCHEMA, diff_documents, run_bench
+from repro.obs.gate import GateResult, check_gate
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ATTRIBUTION_CATEGORIES",
+    "BENCH_SCHEMA",
+    "GateResult",
+    "MetricsRegistry",
+    "attribution_table",
+    "check_gate",
+    "diff_documents",
+    "render_attribution",
+    "run_bench",
+]

@@ -1,0 +1,109 @@
+"""The CI perf gate: fail the build when the bench regresses.
+
+A committed BENCH baseline pins the expected numbers; :func:`check_gate`
+compares a freshly generated document against it and reports violations
+when:
+
+* a **headline rate** (FSR or FSW by default — the paper's sequential
+  read/write story) drops more than ``rate_tolerance`` (10%) below the
+  baseline, or
+* a **layer attribution share** grows more than ``share_tolerance`` (10
+  absolute points) — a phase got slower *somewhere specific*, e.g. queue
+  wait ballooning after a scheduler change, even if the headline rate
+  survived.
+
+Faster-than-baseline is never a violation (re-baseline to bank the win),
+and mismatched run parameters are — a gate comparing a 4 MB run against a
+16 MB baseline would be meaningless, so it fails loudly instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.bench import BENCH_SCHEMA, _shares
+
+#: The paper's headline phases: sequential read and sequential write.
+HEADLINE_PHASES = ("FSR", "FSW")
+
+
+@dataclass
+class GateResult:
+    """Outcome of one gate evaluation: verdict + every violation found."""
+
+    ok: bool
+    checks: int
+    violations: "list[str]" = field(default_factory=list)
+
+    def render(self) -> str:
+        if self.ok:
+            return f"perf gate OK ({self.checks} checks)"
+        body = "\n".join(f"  - {v}" for v in self.violations)
+        return (f"perf gate FAILED ({len(self.violations)} violation(s) "
+                f"over {self.checks} checks):\n{body}")
+
+
+def check_gate(current: dict, baseline: dict,
+               rate_tolerance: float = 0.10,
+               share_tolerance: float = 0.10,
+               phases: "tuple[str, ...]" = HEADLINE_PHASES) -> GateResult:
+    """Compare a fresh BENCH document against the committed baseline."""
+    violations: list[str] = []
+    checks = 0
+
+    checks += 1
+    if current.get("schema") != BENCH_SCHEMA:
+        violations.append(f"current document schema "
+                          f"{current.get('schema')!r} != {BENCH_SCHEMA!r}")
+    checks += 1
+    if baseline.get("schema") != BENCH_SCHEMA:
+        violations.append(f"baseline schema {baseline.get('schema')!r} != "
+                          f"{BENCH_SCHEMA!r} (regenerate the baseline)")
+    checks += 1
+    if current.get("run") != baseline.get("run"):
+        violations.append(
+            f"run parameters differ from baseline: {current.get('run')!r} "
+            f"!= {baseline.get('run')!r} — regenerate the baseline with "
+            "the same parameters")
+        return GateResult(ok=False, checks=checks, violations=violations)
+
+    results = current.get("results", {})
+    for name, base in sorted(baseline.get("results", {}).items()):
+        cur = results.get(name)
+        checks += 1
+        if cur is None:
+            violations.append(f"config {name}: in baseline but missing "
+                              "from current run")
+            continue
+        base_rates = base.get("rates", {})
+        cur_rates = cur.get("rates", {})
+        for phase in phases:
+            expected = base_rates.get(phase)
+            if expected is None or expected <= 0:
+                continue
+            checks += 1
+            got = cur_rates.get(phase, 0.0)
+            floor = expected * (1.0 - rate_tolerance)
+            if got < floor:
+                drop = (expected - got) / expected * 100.0
+                violations.append(
+                    f"{name}/{phase}: {got:.1f} KB/s is {drop:.1f}% below "
+                    f"baseline {expected:.1f} KB/s "
+                    f"(tolerance {rate_tolerance * 100:.0f}%)")
+        base_shares = _shares(base)
+        cur_shares = _shares(cur)
+        for category in sorted(base_shares.keys() | cur_shares.keys()):
+            checks += 1
+            growth = (cur_shares.get(category, 0.0)
+                      - base_shares.get(category, 0.0))
+            if growth > share_tolerance:
+                violations.append(
+                    f"{name}/attribution/{category}: time share grew "
+                    f"{growth * 100:.1f} points over baseline "
+                    f"({base_shares.get(category, 0.0) * 100:.1f}% -> "
+                    f"{cur_shares.get(category, 0.0) * 100:.1f}%)")
+    return GateResult(ok=not violations, checks=checks,
+                      violations=violations)
+
+
+__all__ = ["GateResult", "HEADLINE_PHASES", "check_gate"]

@@ -129,7 +129,20 @@ class IORequest:
             error=(buf.error.__class__.__name__ if buf.error is not None else None),
         )
         tracer.record_span("queue_wait", buf.issued_at, started, parent=io_span)
-        tracer.record_span("service", started, finished, parent=io_span)
+        service = tracer.record_span("service", started, finished,
+                                     parent=io_span)
+        # The disk accounted how much of the service was mechanical
+        # positioning vs. data movement; lay those out as consecutive
+        # child intervals (the exact interleaving within the service is
+        # not recorded — only the totals matter for attribution).
+        seek_rot = min(buf.seek_rot_time, finished - started)
+        if seek_rot > 0:
+            tracer.record_span("rotation_seek", started, started + seek_rot,
+                               parent=service)
+        xfer = min(buf.xfer_time, finished - started - seek_rot)
+        if xfer > 0:
+            tracer.record_span("transfer", started + seek_rot,
+                               started + seek_rot + xfer, parent=service)
 
     # -- completion ---------------------------------------------------------------
     def complete(self, error: BaseException | None = None) -> None:
@@ -218,6 +231,16 @@ class RequestRegistry:
         self.span_leaks.append(
             (req.id, req.kind, tuple(s.name for s in leaked))
         )
+
+    def register_metrics(self, registry) -> None:
+        """Report request accounting into a system MetricsRegistry.
+
+        Latency histograms are per-kind and appear lazily, so they go in
+        as a callable the registry re-renders at each snapshot."""
+        registry.register("requests", self.stats)
+        registry.register("requests.inflight", self.inflight)
+        registry.register("requests.latency", lambda: {
+            kind: h.summary() for kind, h in sorted(self.latency.items())})
 
     def report(self) -> dict[str, Any]:
         """A plain-dict snapshot for benchmark reports / JSON dumps."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from typing import Any, Callable
 
 from repro.units import MB
@@ -126,10 +127,15 @@ def run_simcheck(config_name: str = "C", file_mb: int = 4,
             "mismatched_keys": failures,
             "ok": not failures,
         }
-        with open(json_path, "w") as fh:
-            json.dump(document, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        out(f"wrote {json_path}")
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        if json_path == "-":
+            # The CLI's --json-to-stdout mode: the document owns stdout
+            # (human lines already routed to stderr by the caller's out).
+            sys.stdout.write(text)
+        else:
+            with open(json_path, "w") as fh:
+                fh.write(text)
+            out(f"wrote {json_path}")
     if failures:
         out(f"simcheck FAILED: runs diverged on {', '.join(failures)}")
         return 1

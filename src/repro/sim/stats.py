@@ -84,11 +84,18 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        # `> 0`, not truthiness: a mismatched snapshot delta can leave a
+        # negative count, which must read as empty, not as a negative mean.
+        return self.total / self.count if self.count > 0 else 0.0
 
     def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (p in [0, 100])."""
-        if self.count == 0:
+        """Approximate p-th percentile (p in [0, 100]).
+
+        An empty histogram — zero samples, or a degenerate snapshot delta
+        with nothing in it — reports 0.0 for every percentile rather than
+        indexing into empty buckets.
+        """
+        if self.count <= 0:
             return 0.0
         rank = max(1, math.ceil(self.count * p / 100.0))
         if rank <= self._zeros:
@@ -143,6 +150,14 @@ class Histogram:
             d = n - snap.buckets.get(idx, 0)
             if d:
                 delta._buckets[idx] = d
+        if delta.count <= 0:
+            # A snapshot from a different (or reset) histogram subtracts to
+            # nonsense; normalize to a genuinely empty delta so summary()
+            # and percentile() report clean zeros.
+            delta.count = 0
+            delta.total = 0.0
+            delta._zeros = 0
+            delta._buckets.clear()
         if delta.count > 0:
             if delta._zeros > 0:
                 delta.minimum = 0.0

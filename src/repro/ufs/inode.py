@@ -45,8 +45,9 @@ class Inode:
         self.inline_data: "bytes | None" = None
         self.readahead = ReadAheadState()
         self.writecluster = WriteClusterState()
-        self.throttle = WriteThrottle(mount.engine, mount.tuning.write_limit,
-                                      owner=f"inode {ino}")
+        self.throttle = WriteThrottle(
+            mount.engine, mount.tuning.write_limit, owner=f"inode {ino}",
+            stats=getattr(mount, "throttle_stats", None))
         self.bmap_cache = BmapCache() if mount.tuning.bmap_cache else None
         #: Blocks this file has allocated in its current preferred group,
         #: for the maxbpg group-spill policy.
@@ -133,6 +134,19 @@ class Inode:
         """Block pointers changed: drop any cached bmap extents."""
         if self.bmap_cache is not None:
             self.bmap_cache.invalidate()
+
+    def recycle(self) -> None:
+        """The contents vanished out from under the inode (truncate, last
+        link destroyed): forget every piece of performance meta-state that
+        described the old bytes.  The sequential predictions (``nextr`` /
+        ``trigger`` / ``nextrio``) would otherwise survive into the file's
+        next life and fire read-ahead at offsets past the new EOF; the
+        delayed-write cluster names pages that were just invalidated."""
+        self.readahead.reset()
+        self.writecluster.delayoff = 0
+        self.writecluster.delaylen = 0
+        self.writecluster.health.reset()
+        self.invalidate_translations()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "dir" if self.is_dir else "reg" if self.is_reg else "?"

@@ -58,6 +58,10 @@ class UfsMount(Vfs):
         self.tuning = tuning if tuning is not None else ClusterTuning.new_system()
         self.trace = tracer if tracer is not None else Tracer(engine)
         self.stats = StatSet(name)
+        #: Shared per-mount throttle counters: every inode's WriteThrottle
+        #: reports into this one StatSet (the metrics registry's
+        #: ``ufs.throttle`` namespace).
+        self.throttle_stats = StatSet("throttle")
         self.ordered_metadata = ordered_metadata
 
         store = driver.disk.store
@@ -434,6 +438,7 @@ class UfsMount(Vfs):
             if page.locked:
                 yield from page.wait_unlocked()
         self.pagecache.vnode_invalidate(vn)
+        ip.recycle()
         yield from self._release_file_blocks(ip)
         ip.mode = 0
         yield from self.write_inode(ip, sync=True)
@@ -542,6 +547,7 @@ class UfsMount(Vfs):
             if page.locked:
                 yield from page.wait_unlocked()
         self.pagecache.vnode_invalidate(vn)
+        ip.recycle()
         yield from bmap.truncate_blocks(self, ip)
         yield from self.write_inode(ip, sync=True)
 
@@ -549,3 +555,9 @@ class UfsMount(Vfs):
     def free_space(self) -> tuple[int, int]:
         """(free blocks, free fragments) from the superblock summary."""
         return self.sb.cs_nbfree, self.sb.cs_nffree
+
+    def register_metrics(self, registry) -> None:
+        """Report the mount's instruments into a system MetricsRegistry."""
+        registry.register("ufs", self.stats)
+        registry.register("ufs.metacache", self.metacache.stats)
+        registry.register("ufs.throttle", self.throttle_stats)

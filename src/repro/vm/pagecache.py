@@ -62,6 +62,11 @@ class PageCache:
         self.stats = StatSet("pagecache")
         self.freemem_track = TimeWeighted(engine, self.total_pages)
 
+    def register_metrics(self, registry) -> None:
+        """Report the VM instruments into a system MetricsRegistry."""
+        registry.register("vm.pagecache", self.stats)
+        registry.register("vm.freemem", self.freemem_track)
+
     # -- inspection -----------------------------------------------------------
     @property
     def freemem(self) -> int:

@@ -1,0 +1,54 @@
+"""Per-member pipeline report: idle members must not divide by zero.
+
+Pins the fix: a volume member that served no I/O (a concat tail the
+workload never reached, a mirror member the read policy skipped) has an
+undefined average I/O size — the report carries None and the renderer
+shows ``-`` instead of raising ZeroDivisionError.
+"""
+
+from repro.bench.iobench import IObench, format_member_table
+from repro.kernel import System, SystemConfig
+
+
+def test_idle_member_reports_none_not_zero_division():
+    config = SystemConfig.config_a().with_(layout="concat:2")
+    system = System.booted(config)
+    bench = IObench(config)
+    report = bench._pipeline_report(system)
+
+    members = report["members"]
+    assert len(members) == 2
+    # Boot I/O (root inode) lands entirely on the first member; the
+    # concat tail is untouched — exactly the zero-count case.
+    assert members[1]["requests"] == 0
+    assert members[1]["avg_io_bytes"] is None
+    assert members[0]["requests"] > 0
+    assert members[0]["avg_io_bytes"] == (
+        members[0]["bytes"] / members[0]["requests"])
+
+
+def test_format_member_table_renders_dash_for_idle_member():
+    config = SystemConfig.config_a().with_(layout="concat:2")
+    system = System.booted(config)
+    report = IObench(config)._pipeline_report(system)
+
+    text = format_member_table(report["members"])
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + two members
+    idle_line = next(line for line in lines
+                     if line.strip().startswith(report["members"][1]["name"]))
+    assert " - " in idle_line or idle_line.rstrip().split()[-2] == "-"
+
+
+def test_busy_members_still_report_averages():
+    config = SystemConfig.config_a().with_(layout="mirror:2")
+    bench = IObench(config, file_size=256 * 1024, random_ops=16)
+    result = bench.run()
+    members = result.pipeline["members"]
+    # Mirror writes hit both members: averages defined on each.
+    for member in members:
+        assert member["requests"] > 0
+        assert member["avg_io_bytes"] > 0
+    text = format_member_table(members)
+    for member, line in zip(members, text.splitlines()[1:]):
+        assert f"{member['avg_io_bytes'] / 1024:.1f}K" in line

@@ -1,5 +1,6 @@
 """Smoke tests for the ``python -m repro`` command-line interface."""
 
+import json
 import subprocess
 import sys
 
@@ -48,3 +49,55 @@ def test_cli_iobench_small():
     result = run_cli("iobench", "--configs", "A", "--file-mb", "2")
     assert result.returncode == 0
     assert "FSR" in result.stdout
+
+
+def test_cli_faultcampaign_json_stdout_parses():
+    """--json with no path writes the document to stdout and every human
+    line to stderr, so ``python -m repro ... --json | jq .`` works."""
+    result = run_cli("faultcampaign", "--cuts", "2", "--json")
+    assert result.returncode == 0
+    document = json.loads(result.stdout)  # the whole of stdout is JSON
+    assert isinstance(document, dict) and document
+    assert "power cuts" in result.stderr  # progress moved to stderr
+
+
+def test_cli_scrubcampaign_json_stdout_parses():
+    result = run_cli("scrubcampaign", "--json")
+    assert result.returncode == 0
+    document = json.loads(result.stdout)
+    assert "digest" in document
+    assert "scrubbing" in result.stderr
+
+
+def test_cli_json_to_path_keeps_stdout_human(tmp_path):
+    path = tmp_path / "out.json"
+    result = run_cli("faultcampaign", "--cuts", "2", "--json", str(path))
+    assert result.returncode == 0
+    assert "power cuts" in result.stdout  # human mode unchanged
+    json.loads(path.read_text())
+
+
+def test_cli_bench_json_stdout_parses():
+    result = run_cli("bench", "--configs", "A", "--file-mb", "1",
+                     "--ops", "32", "--json")
+    assert result.returncode == 0
+    document = json.loads(result.stdout)
+    assert document["schema"] == "repro-bench/v1"
+    assert document["results"]["A"]["rates"]["FSR"] > 0
+    assert "bench id" in result.stderr
+
+
+def test_cli_bench_gate_against_self(tmp_path):
+    baseline = tmp_path / "BENCH_baseline.json"
+    first = run_cli("bench", "--configs", "A", "--file-mb", "1",
+                    "--ops", "32", "--json", str(baseline))
+    assert first.returncode == 0
+    gated = run_cli("bench", "--configs", "A", "--file-mb", "1",
+                    "--ops", "32", "--baseline", str(baseline), "--diff")
+    assert gated.returncode == 0
+    assert "perf gate OK" in gated.stdout
+    # A mismatched baseline (different parameters) must fail the gate.
+    mismatched = run_cli("bench", "--configs", "A", "--file-mb", "1",
+                         "--ops", "16", "--baseline", str(baseline))
+    assert mismatched.returncode == 1
+    assert "perf gate FAILED" in mismatched.stdout

@@ -11,6 +11,8 @@ from repro.faults.campaign import default_campaign_config
 from repro.kernel.syscalls import Proc
 from repro.kernel.system import System
 
+from tests.integrity.conftest import checksum_config
+
 
 def crashedlike_system():
     """A machine with plenty of used state: requests served, sanitizer
@@ -73,6 +75,58 @@ def test_remounted_registry_and_sanitizer_start_clean():
     before = survivor.sanitizer.checkpoints
     survivor.sanitizer.checkpoint("remount_reset_test", idle=True, deep=True)
     assert survivor.sanitizer.checkpoints == before + 1
+
+
+def test_remount_neutralizes_the_old_systems_scrub_daemon():
+    """A ScrubDaemon started on the old machine must stand down once a
+    new System owns the stores: its repair writes would otherwise race
+    the survivor's I/O through a stale driver over the same bytes."""
+    config = checksum_config()
+    old = System.booted(config)
+    proc = Proc(old)
+
+    def workload(proc):
+        fd = yield from proc.creat("/f")
+        yield from proc.write(fd, b"s" * 8192)
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+
+    old.run(workload(proc), name="seed-data")
+    old.sync()
+    daemon = old.start_scrub(interval=0.05, batch_frags=16)
+    assert daemon in old.daemons
+    assert not daemon.stale
+
+    def tick_past(interval):
+        yield old.engine.timeout(interval)
+
+    # The daemon scrubs happily while it still owns the machine.
+    old.run(tick_past(daemon.interval * 3), name="let-scrub-run")
+    assert daemon.running
+    assert daemon.stats["ticks"] > 0
+
+    survivor = System.remounted(old.store, config)
+    assert daemon.stale  # the store's attach epoch moved
+
+    # Next tick on the OLD engine: the daemon stands down instead of
+    # scrubbing a machine it no longer owns.
+    ticks_before = daemon.stats["ticks"]
+    old.run(tick_past(daemon.interval * 3), name="stale-tick")
+    assert not daemon.running
+    assert daemon.stats["stale_system_stops"] == 1
+    assert daemon.stats["ticks"] == ticks_before
+    # The survivor is untouched and can start its own daemon.
+    fresh = survivor.start_scrub(interval=0.05)
+    assert not fresh.stale
+    assert "scrub" in survivor.metrics
+
+
+def test_shutdown_daemons_stops_scrubbing():
+    system = System.booted(checksum_config())
+    daemon = system.start_scrub(interval=0.05)
+    assert daemon.running
+    system.shutdown_daemons()
+    assert not daemon.running
 
 
 def test_remounted_sees_the_crashed_machines_durable_bytes():

@@ -1,0 +1,80 @@
+"""Empty and degenerate histograms must report clean zeros.
+
+Pins the fix for the empty-snapshot misbehaviour: a fresh histogram, an
+empty ``since()`` delta, and a *mismatched* delta (snapshot from a
+different or busier histogram, subtracting to negative counts) must all
+report 0.0 percentiles and means instead of nonsense.
+"""
+
+from repro.sim.stats import Histogram
+
+
+def test_fresh_histogram_reports_zeros():
+    h = Histogram("fresh")
+    assert h.count == 0
+    assert h.mean == 0.0
+    for p in (0, 50, 95, 99, 100):
+        assert h.percentile(p) == 0.0
+    assert h.summary() == {
+        "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        "p50": 0.0, "p95": 0.0, "p99": 0.0,
+    }
+
+
+def test_empty_since_delta_reports_zeros():
+    h = Histogram("busy")
+    for value in (1.0, 2.0, 4.0):
+        h.observe(value)
+    snap = h.snapshot()
+    # Nothing observed since the snapshot: the delta is genuinely empty.
+    delta = h.since(snap)
+    assert delta.count == 0
+    assert delta.mean == 0.0
+    assert delta.percentile(95) == 0.0
+    assert delta.summary()["p99"] == 0.0
+
+
+def test_mismatched_snapshot_normalizes_to_empty():
+    """A snapshot from a busier histogram subtracts to negative counts;
+    the delta must normalize to empty, not report negative means or index
+    into phantom buckets."""
+    busy = Histogram("busy")
+    for value in (1.0, 2.0, 4.0, 8.0):
+        busy.observe(value)
+    quiet = Histogram("quiet")
+    quiet.observe(1.0)
+
+    delta = quiet.since(busy.snapshot())
+    assert delta.count == 0
+    assert delta.total == 0.0
+    assert delta.mean == 0.0
+    for p in (50, 95, 99):
+        assert delta.percentile(p) == 0.0
+    summary = delta.summary()
+    assert summary["count"] == 0
+    assert summary["mean"] == 0.0
+    assert summary["min"] == 0.0 and summary["max"] == 0.0
+
+
+def test_nonempty_delta_still_exact():
+    h = Histogram("h")
+    h.observe(1.0)
+    snap = h.snapshot()
+    h.observe(3.0)
+    h.observe(5.0)
+    delta = h.since(snap)
+    assert delta.count == 2
+    assert delta.total == 8.0
+    assert delta.mean == 4.0
+    assert delta.percentile(99) > 0.0
+
+
+def test_zeros_only_delta():
+    h = Histogram("zeros")
+    h.observe(0.0)
+    snap = h.snapshot()
+    h.observe(0.0)
+    delta = h.since(snap)
+    assert delta.count == 1
+    assert delta.mean == 0.0
+    assert delta.percentile(99) == 0.0
