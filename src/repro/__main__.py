@@ -34,6 +34,13 @@ Commands:
   snapshot + layer time attribution), byte-identical across same-seed
   runs, optionally gated against a committed baseline (exit 1 on a >10%
   headline regression or attribution blowup);
+* ``trace {analyze|chrome|flamegraph|series}`` — trace analytics: run a
+  seeded iobench phase (or ingest an existing ``--trace-jsonl`` file)
+  and either print the critical-path report with per-layer blame
+  (``analyze``), export Chrome trace-event JSON for ``chrome://tracing``
+  / Perfetto (``chrome``), export collapsed folded stacks for flamegraph
+  tools (``flamegraph``), or record simulated-time telemetry series of
+  selected metrics namespaces (``series``);
 * ``demo`` — a short guided tour (quickstart + fsck).
 
 ``iobench``, ``faultcampaign``, and ``netcampaign`` accept ``--sanitize``
@@ -385,6 +392,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if gate.ok else 1
 
 
+def _trace_bench(args: argparse.Namespace, say,
+                 telemetry_interval: "float | None" = None,
+                 telemetry_namespaces: "list[str] | None" = None):
+    """Run the seeded iobench the trace subcommands analyze; returns the
+    bench (its system carries the tracer and any telemetry recorder)."""
+    from repro.bench.iobench import IObench
+    from repro.kernel import SystemConfig
+    from repro.units import MB
+
+    say(f"running IObench config {args.config.upper()} "
+        f"({args.file_mb} MB file, {args.ops} random ops, "
+        f"seed {args.seed}; tracing phase {args.phase})...")
+    bench = IObench(SystemConfig.by_name(args.config.upper()),
+                    file_size=args.file_mb * MB, random_ops=args.ops,
+                    seed=args.seed, trace_phase=args.phase,
+                    telemetry_interval=telemetry_interval,
+                    telemetry_namespaces=telemetry_namespaces)
+    bench.run()
+    return bench
+
+
+def _trace_source(args: argparse.Namespace, say):
+    """The tracer to analyze: an ingested ``--trace-jsonl`` file, or a
+    fresh seeded iobench run."""
+    from repro.sim.trace import load_jsonl
+
+    if args.trace_jsonl:
+        with open(args.trace_jsonl) as fh:
+            tracer = load_jsonl(fh.read())
+        say(f"loaded {len(tracer.spans)} spans and "
+            f"{len(tracer.records)} records from {args.trace_jsonl}")
+        return tracer
+    bench = _trace_bench(args, say)
+    assert bench.system is not None
+    return bench.system.tracer
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import (
+        critical_paths, verify_against_attribution, verify_conservation,
+    )
+    from repro.obs.export import chrome_trace_json, folded_stacks
+
+    say = _emit(args)
+
+    if args.mode == "series":
+        if args.trace_jsonl:
+            print("trace series: needs a live run (telemetry samples the "
+                  "machine, not a trace file); drop --trace-jsonl",
+                  file=sys.stderr)
+            return 2
+        namespaces = ([ns.strip() for ns in args.namespaces.split(",")
+                       if ns.strip()] if args.namespaces else None)
+        bench = _trace_bench(args, say,
+                             telemetry_interval=args.interval_ms / 1e3,
+                             telemetry_namespaces=namespaces)
+        recorder = bench.telemetry
+        assert recorder is not None
+        say(f"sampled {recorder.samples_taken} ticks at "
+            f"{args.interval_ms:g} ms simulated cadence")
+        for ns in sorted(recorder._sources):
+            for key in recorder.keys(ns):
+                say("  " + recorder.render(ns, key))
+        if args.json:
+            _write_json(args.json, recorder.to_json(), say)
+        return 0
+
+    tracer = _trace_source(args, say)
+    report = critical_paths(tracer)
+
+    if args.mode == "analyze":
+        say(report.render(top_n=args.top))
+        problems = (verify_conservation(report)
+                    + verify_against_attribution(tracer, report))
+        if args.json:
+            document = report.to_json()
+            document["violations"] = problems
+            _write_json(args.json, document, say)
+        if problems:
+            say(f"FAILED: {len(problems)} conservation/attribution "
+                "violation(s)")
+            for problem in problems[:10]:
+                say(f"  {problem}")
+            return 1
+        say("OK: every critical path conserves its request's latency and "
+            "agrees with the attribution sweep")
+        return 0
+
+    if args.mode == "chrome":
+        text = chrome_trace_json(tracer)
+        args.out = args.out or "trace-chrome.json"
+    else:  # flamegraph
+        text = folded_stacks(tracer, report)
+        args.out = args.out or "trace.folded"
+    if report.open_roots or report.open_spans:
+        say(f"WARNING: {report.open_roots} open request(s) excluded, "
+            f"{report.open_spans} open span(s) clamped")
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        say(f"wrote {args.out} ({len(text.splitlines())} lines, "
+            f"{len(report.paths)} requests)")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from examples.quickstart import main as quickstart_main  # type: ignore
 
@@ -534,6 +648,44 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="allowed attribution-share growth (default 0.10)")
     _add_json_flag(p, "write the BENCH document to PATH")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("trace",
+                       help="trace analytics: critical paths, Chrome/"
+                            "flamegraph exports, telemetry series")
+    p.add_argument("mode",
+                   choices=["analyze", "chrome", "flamegraph", "series"],
+                   help="analyze = critical-path report; chrome = trace-"
+                        "event JSON for chrome://tracing / Perfetto; "
+                        "flamegraph = collapsed folded stacks; series = "
+                        "simulated-time telemetry samples")
+    p.add_argument("--config", default="C",
+                   help="figure 9 configuration to run (default C)")
+    p.add_argument("--file-mb", type=int, default=4)
+    p.add_argument("--ops", type=int, default=256,
+                   help="random operations per random phase (default 256)")
+    p.add_argument("--seed", type=int, default=1991)
+    p.add_argument("--phase", default="FSR",
+                   choices=["FSR", "FSU", "FSW", "FRR", "FRU", "*"],
+                   help="which iobench phase to trace (default FSR; "
+                        "* = all five)")
+    p.add_argument("--trace-jsonl", default="", metavar="PATH",
+                   help="ingest this spans/records JSONL export instead "
+                        "of running a benchmark (analyze/chrome/"
+                        "flamegraph only)")
+    p.add_argument("--out", default="", metavar="PATH",
+                   help="output file for chrome/flamegraph (default "
+                        "trace-chrome.json / trace.folded; - = stdout)")
+    p.add_argument("--top", type=int, default=5,
+                   help="slowest requests to print in analyze (default 5)")
+    p.add_argument("--interval-ms", type=float, default=10.0,
+                   help="series sampling cadence in simulated ms "
+                        "(default 10)")
+    p.add_argument("--namespaces", default="",
+                   metavar="NS[,NS...]",
+                   help="metrics namespaces to sample in series "
+                        "(default: every registered namespace)")
+    _add_json_flag(p, "write the analyze report / series document to PATH")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("demo", help="guided quickstart")
     p.set_defaults(fn=_cmd_demo)

@@ -53,7 +53,9 @@ class IObench:
                  record_size: int = 8 * KB, random_ops: int = 2048,
                  seed: int = 1991, path: str = "/iobench.dat",
                  trace_phase: "str | None" = None,
-                 sanitize: "bool | None" = None):
+                 sanitize: "bool | None" = None,
+                 telemetry_interval: "float | None" = None,
+                 telemetry_namespaces: "list[str] | None" = None):
         if file_size % record_size:
             raise ValueError("file size must be a multiple of the record size")
         if trace_phase is not None and trace_phase not in PHASES + ("*",):
@@ -72,6 +74,12 @@ class IObench:
         #: Force the invariant sanitizer on (True) or off (False) for this
         #: run; None keeps the REPRO_SANITIZE environment default.
         self.sanitize = sanitize
+        #: Sample the metrics registry every this many simulated seconds
+        #: during the run (None = no telemetry); the recorder lands on
+        #: ``self.telemetry`` for series reads after :meth:`run`.
+        self.telemetry_interval = telemetry_interval
+        self.telemetry_namespaces = telemetry_namespaces
+        self.telemetry = None
         self.system: System | None = None
         self._phase_reports: dict[str, Any] = {}
 
@@ -197,6 +205,9 @@ class IObench:
         system = System.booted(self.config)
         if self.sanitize is not None:
             system.sanitizer.enabled = self.sanitize
+        if self.telemetry_interval is not None:
+            self.telemetry = system.start_telemetry(
+                self.telemetry_interval, self.telemetry_namespaces)
         self.system = system
         proc = Proc(system, name="iobench")
         result = IObenchResult(config=self.config.name)

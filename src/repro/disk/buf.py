@@ -10,15 +10,12 @@ write-limit bytes from interrupt context).
 from __future__ import annotations
 
 import enum
-from itertools import count
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
-
-_buf_ids = count(1)
 
 
 class BufOp(enum.Enum):
@@ -60,7 +57,9 @@ class Buf:
             raise ValueError("sector must be >= 0")
         if op is BufOp.WRITE and data is None:
             raise ValueError("write buf requires data")
-        self.id = next(_buf_ids)
+        # Per-engine, not per-process: same-seed runs number
+        # their bufs identically (trace-export determinism).
+        self.id = next(engine.buf_ids)
         self.op = op
         self.sector = sector
         self.nsectors = nsectors

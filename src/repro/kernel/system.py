@@ -181,6 +181,20 @@ class System:
         self.metrics.register("scrub", daemon.stats, replace=True)
         return daemon
 
+    def start_telemetry(self, interval: float = 0.010,
+                        namespaces: "list[str] | None" = None):
+        """Start a :class:`~repro.obs.timeseries.TelemetryRecorder`
+        sampling the metrics registry every ``interval`` simulated
+        seconds (``namespaces=None`` samples everything registered so
+        far); returns the recorder, also tracked in ``daemons``."""
+        from repro.obs.timeseries import TelemetryRecorder
+
+        recorder = TelemetryRecorder(self, interval=interval,
+                                     namespaces=namespaces)
+        recorder.start()
+        self.daemons.append(recorder)
+        return recorder
+
     def shutdown_daemons(self) -> None:
         """Stop every background daemon started on this machine."""
         for daemon in self.daemons:

@@ -18,24 +18,50 @@ to the same standard.  This package gives it three legs:
   bench`` orchestrator emitting one schema-versioned ``BENCH.json``
   (byte-identical across same-seed runs), a differ for two such
   documents, and the CI perf gate that fails on headline-rate regressions
-  or attribution blowups against a committed baseline.
+  or attribution blowups against a committed baseline;
+* :mod:`repro.obs.critpath` — per-request critical-path extraction: for
+  each completed request, the chain of child spans that determined its
+  latency, with per-layer blame totals (conserving the request's elapsed
+  time exactly) and a "slowest requests, dominated by X" report;
+* :mod:`repro.obs.export` — byte-deterministic exporters from span trees
+  to Chrome trace-event JSON (``chrome://tracing`` / Perfetto) and
+  collapsed folded-stack lines for standard flamegraph tools;
+* :mod:`repro.obs.timeseries` — a :class:`TelemetryRecorder` sampling
+  registry namespaces on a fixed simulated-time cadence (windowed deltas
+  for counters/histograms, window-averaged gauges), so throughput and
+  queue-depth *curves* over a run can be exported and asserted on.
 """
 
 from repro.obs.attrib import (
     ATTRIBUTION_CATEGORIES, attribution_table, render_attribution,
 )
 from repro.obs.bench import BENCH_SCHEMA, diff_documents, run_bench
+from repro.obs.critpath import (
+    CritReport, critical_path, critical_paths, verify_against_attribution,
+    verify_conservation,
+)
+from repro.obs.export import chrome_trace, chrome_trace_json, folded_stacks
 from repro.obs.gate import GateResult, check_gate
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryRecorder
 
 __all__ = [
     "ATTRIBUTION_CATEGORIES",
     "BENCH_SCHEMA",
+    "CritReport",
     "GateResult",
     "MetricsRegistry",
+    "TelemetryRecorder",
     "attribution_table",
     "check_gate",
+    "chrome_trace",
+    "chrome_trace_json",
+    "critical_path",
+    "critical_paths",
     "diff_documents",
+    "folded_stacks",
     "render_attribution",
     "run_bench",
+    "verify_against_attribution",
+    "verify_conservation",
 ]

@@ -1,0 +1,190 @@
+"""Exporters: span trees as Chrome trace events and folded flame stacks.
+
+Two standard offline formats for the tracer's span trees:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON format (load the
+  file in ``chrome://tracing`` or https://ui.perfetto.dev).  The whole
+  machine is one process (``pid=1``, named ``system``); each traced
+  request is its own thread track (``tid`` = request id), so one
+  request's syscall → getpage → disk_io lifecycle reads as one swim
+  lane.  Member-tagged I/O (``disk_io[mN]`` spans from a concat/stripe/
+  mirror volume) moves — subtree and all — onto a per-member
+  ``disk[mN]`` track, which is where overlapped member service is
+  actually visible.  Spans with no request id (the NFS server's
+  ``nfs_server`` spans, ad-hoc roots) get one named track per root
+  name.
+
+* :func:`folded_stacks` — collapsed "folded" stack lines
+  (``read;getpage;disk_io 123``) consumable by standard flamegraph
+  tooling (flamegraph.pl, inferno, speedscope).  Each line's value is
+  critical-path time in integer microseconds, so the flame widths sum
+  to the traced requests' total latency.
+
+Both exporters are **byte-deterministic** for same-seed runs: span /
+request / buf ids come from per-world counters, events are explicitly
+sorted, and JSON is serialized with sorted keys.  Open spans never skew
+either export: open roots are excluded and counted, open descendants
+are clamped to their root's end and counted (see
+:mod:`repro.obs.critpath`), and the counts ride along in the output
+metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.obs.critpath import CritReport, critical_paths, span_category
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.trace import Span, Tracer
+
+#: Schema tag carried in the Chrome document's ``otherData``.
+CHROME_SCHEMA = "repro-chrome/v1"
+
+#: Track ids for non-request tracks start here, far above any realistic
+#: request id, so request tids and named-track tids never collide.
+_NAMED_TRACK_BASE = 1_000_000
+
+#: The one simulated machine is one Chrome "process".
+_PID = 1
+
+
+def _usec(seconds: float) -> float:
+    """Simulated seconds -> trace-event microseconds (ns-stable round)."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace(tracer: "Tracer") -> dict:
+    """The trace as a Chrome trace-event document (JSON-ready dict).
+
+    Every closed span becomes one complete (``ph="X"``) event carrying
+    its span/parent ids and fields in ``args`` and its attribution
+    category in ``cat``.  See the module docstring for the track layout
+    and the open-span policy.
+    """
+    children = tracer.children_index()
+    events: list[tuple] = []
+    named_tracks: dict[str, int] = {}
+    open_roots = 0
+    open_spans = 0
+
+    def track_for(name: str) -> int:
+        tid = named_tracks.get(name)
+        if tid is None:
+            tid = named_tracks[name] = _NAMED_TRACK_BASE + len(named_tracks)
+        return tid
+
+    def emit(span: "Span", tid: int, clamp: float) -> None:
+        nonlocal open_spans
+        end = span.end
+        if end is None:
+            open_spans += 1
+            end = clamp
+        begin = min(span.begin, end)
+        args = {"span": span.id, "parent": span.parent_id}
+        for key, value in span.fields.items():
+            args[key] = (value if isinstance(value, (int, float, str, bool))
+                         or value is None else str(value))
+        events.append((_usec(begin), tid, span.id, {
+            "name": span.name,
+            "cat": span_category(span.name),
+            "ph": "X",
+            "ts": _usec(begin),
+            "dur": _usec(end - begin),
+            "pid": _PID,
+            "tid": tid,
+            "args": args,
+        }))
+
+    def walk(span: "Span", tid: int, clamp: float) -> None:
+        # A member-tagged I/O span drags its whole subtree onto the
+        # member's track; everything else inherits the parent's.
+        if span.name.startswith("disk_io[") and span.name.endswith("]"):
+            tid = track_for("disk" + span.name[len("disk_io"):])
+        emit(span, tid, clamp)
+        for child in children.get(span.id, ()):
+            walk(child, tid, clamp)
+
+    for root in tracer.span_roots():
+        if root.end is None:
+            open_roots += 1
+            continue
+        request = root.fields.get("request")
+        tid = int(request) if request is not None else track_for(root.name)
+        walk(root, tid, root.end)
+
+    meta_events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": _PID,
+        "args": {"name": "system"},
+    }]
+    meta_events.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for name, tid in sorted(named_tracks.items(), key=lambda kv: kv[1])
+    )
+    events.sort(key=lambda item: (item[0], item[1], item[2]))
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_SCHEMA,
+            "open_roots": open_roots,
+            "open_spans": open_spans,
+        },
+        "traceEvents": meta_events + [event for _, _, _, event in events],
+    }
+
+
+def chrome_trace_json(tracer: "Tracer") -> str:
+    """:func:`chrome_trace` in its one canonical byte form."""
+    return json.dumps(chrome_trace(tracer), indent=1, sort_keys=True) + "\n"
+
+
+def folded_stacks(tracer: "Tracer",
+                  report: "CritReport | None" = None) -> str:
+    """The trace as collapsed flamegraph lines, sorted, one per stack.
+
+    Each completed request contributes its critical-path segments; a
+    segment's stack is the ``;``-joined span-name chain from the request
+    root down to the blamed span, and its value is the segment time in
+    integer microseconds.  Pass a precomputed ``report`` to reuse the
+    critical paths (the CLI does); its ``open_roots``/``open_spans``
+    counts are the exporter's data-quality warnings.
+    """
+    if report is None:
+        report = critical_paths(tracer)
+    totals: dict[str, float] = {}
+    for path in report.paths:
+        names: dict[int, str] = {}
+
+        def stack_of(span: "Span") -> str:
+            cached = names.get(span.id)
+            if cached is None:
+                if span.parent_id is None or span is path.root:
+                    cached = span.name
+                else:
+                    parent = tracer.span_by_id(span.parent_id)
+                    cached = stack_of(parent) + ";" + span.name
+                names[span.id] = cached
+            return cached
+
+        for seg in path.segments:
+            stack = stack_of(seg.span)
+            totals[stack] = totals.get(stack, 0.0) + seg.duration
+    lines = []
+    for stack in sorted(totals):
+        usec = round(totals[stack] * 1e6)
+        if usec > 0:
+            lines.append(f"{stack} {usec}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = ["CHROME_SCHEMA", "chrome_trace", "chrome_trace_json",
+           "folded_stacks"]

@@ -38,6 +38,46 @@ class Scheduled:
         self.fired = False
 
 
+class Recurring:
+    """A cancelable recurring timer created by :meth:`Engine.every`.
+
+    The next occurrence is scheduled *before* the callback runs, so the
+    callback may cancel the timer (or raise) without leaving a stray
+    entry behind; ``fires`` counts completed callbacks.
+    """
+
+    __slots__ = ("engine", "interval", "fn", "daemon", "cancelled", "fires",
+                 "_entry")
+
+    def __init__(self, engine: "Engine", interval: float,
+                 fn: Callable[[], None], daemon: bool):
+        if interval <= 0:
+            raise SimulationError(f"recurring interval must be > 0 "
+                                  f"(got {interval})")
+        self.engine = engine
+        self.interval = interval
+        self.fn = fn
+        self.daemon = daemon
+        self.cancelled = False
+        self.fires = 0
+        self._entry = engine.schedule(interval, self._fire, daemon=daemon)
+
+    def _fire(self, _arg: Any) -> None:
+        if self.cancelled:
+            return
+        self._entry = self.engine.schedule(self.interval, self._fire,
+                                           daemon=self.daemon)
+        self.fires += 1
+        self.fn()
+
+    def cancel(self) -> None:
+        """Stop the timer; the pending occurrence is cancelled too."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.engine.cancel(self._entry)
+
+
 class Engine:
     """A discrete-event simulation engine with generator-based processes.
 
@@ -65,6 +105,10 @@ class Engine:
         self.step_hook: "Callable[[], None] | None" = None
         self.step_hook_every = 0
         self._steps = 0
+        #: Buf ids are allocated here (one counter per simulated world, not
+        #: per process) so same-seed runs number their bufs identically and
+        #: trace exports compare byte-for-byte across runs.
+        self.buf_ids = count(1)
 
     # -- time ------------------------------------------------------------
     @property
@@ -109,6 +153,18 @@ class Engine:
         if not entry.daemon:
             entry.daemon = True  # stop counting toward liveness exactly once
             self._live -= 1
+
+    def every(self, interval: float, fn: Callable[[], None],
+              daemon: bool = True) -> Recurring:
+        """Run ``fn()`` every ``interval`` simulated seconds until cancelled.
+
+        The telemetry sampler's clock: ``daemon=True`` (the default) keeps
+        the timer from holding :meth:`run` open on its own, so a workload
+        still runs to idle; the pending occurrence simply fires during the
+        next burst of real work.  Returns a :class:`Recurring` handle with
+        ``cancel()``.
+        """
+        return Recurring(self, interval, fn, daemon)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered event."""

@@ -32,6 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
     from repro.sim.trace import Span, Tracer
 
+#: Fallback id source for bare IORequests built without a registry (tests,
+#: ad-hoc instrumentation).  Registry-created requests draw from the
+#: registry's own counter so same-seed runs number requests identically.
 _request_ids = count(1)
 
 
@@ -54,7 +57,8 @@ class IORequest:
                  tracer: "Tracer | None" = None,
                  registry: "RequestRegistry | None" = None,
                  origin: str = "", **fields: Any):
-        self.id = next(_request_ids)
+        self.id = next(registry._ids if registry is not None
+                       else _request_ids)
         self.kind = kind
         self.origin = origin
         self.engine = engine
@@ -192,6 +196,10 @@ class RequestRegistry:
     def __init__(self, engine: "Engine", tracer: "Tracer | None" = None):
         self.engine = engine
         self.tracer = tracer
+        #: Per-registry request ids (one registry per machine): two
+        #: same-seed machines in one process number their requests the
+        #: same way, which trace-export byte-determinism depends on.
+        self._ids = count(1)
         self.stats = StatSet("requests")
         self.inflight = TimeWeighted(engine, 0)
         self.latency: dict[str, Histogram] = {}

@@ -230,6 +230,16 @@ class TimeWeighted:
         area = self._area + self._value * (now - self._last_change)
         return area / total
 
+    def area(self) -> float:
+        """Cumulative value x time integral up to now.
+
+        Two reads of this bracket a window: ``(a2 - a1) / dt`` is the
+        exact time-weighted mean over the window — how the telemetry
+        recorder turns one gauge into a per-sample-window average series
+        without resetting (and so perturbing) the gauge itself.
+        """
+        return self._area + self._value * (self.engine.now - self._last_change)
+
     def reset(self) -> None:
         """Restart the averaging window at the current time and value."""
         now = self.engine.now

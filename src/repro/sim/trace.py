@@ -33,7 +33,10 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
 
-_span_ids = count(1)
+#: Schema tag written as the first line of every JSONL export, so offline
+#: consumers (``python -m repro trace --trace-jsonl``) can refuse traces
+#: from an incompatible writer instead of mis-parsing them.
+TRACE_SCHEMA = "repro-trace/v1"
 
 
 @dataclass(frozen=True)
@@ -98,6 +101,30 @@ class Tracer:
         self.records: list[TraceRecord] = []
         self.spans: list[Span] = []
         self._tag_filter: set[str] | None = None
+        # Span ids are *per tracer* (they used to come from a module-global
+        # counter, which leaked across System instances in one process and
+        # made same-seed exports differ byte-for-byte until renumbered).
+        self._span_ids = count(1)
+        # Lazy tree indexes, maintained incrementally on every append so
+        # span_children/span_tree/render_spans never rescan self.spans
+        # (which was O(n) per node, O(n^2) per tree walk).
+        self._by_id: dict[int, Span] = {}
+        self._children: dict[int, list[Span]] = {}
+        self._roots: list[Span] = []
+
+    def _add_span(self, span: Span) -> Span:
+        """Append one span and keep the tree indexes current (O(1))."""
+        self.spans.append(span)
+        self._by_id[span.id] = span
+        if span.parent_id is None:
+            self._roots.append(span)
+        else:
+            self._children.setdefault(span.parent_id, []).append(span)
+        return span
+
+    def span_by_id(self, span_id: int) -> Span:
+        """The span with ``span_id`` (KeyError if absent)."""
+        return self._by_id[span_id]
 
     def limit_to(self, tags: Iterable[str] | None) -> None:
         """Record only the given tags (None = record everything).
@@ -132,10 +159,9 @@ class Tracer:
         if not self.enabled:
             return None
         parent_id = parent.id if isinstance(parent, Span) else parent
-        span = Span(next(_span_ids), name, parent_id, self.engine.now,
+        span = Span(next(self._span_ids), name, parent_id, self.engine.now,
                     fields=fields)
-        self.spans.append(span)
-        return span
+        return self._add_span(span)
 
     def span_end(self, span: Span | None, **fields: Any) -> None:
         """Close a span at the current simulated time (no-op on None)."""
@@ -152,32 +178,63 @@ class Tracer:
         if not self.enabled:
             return None
         parent_id = parent.id if isinstance(parent, Span) else parent
-        span = Span(next(_span_ids), name, parent_id, begin, end, fields)
-        self.spans.append(span)
-        return span
+        span = Span(next(self._span_ids), name, parent_id, begin, end, fields)
+        return self._add_span(span)
 
     def span_roots(self) -> list[Span]:
-        """Spans with no parent, in begin-time order."""
-        return [s for s in self.spans if s.parent_id is None]
+        """Spans with no parent, in recording (= begin) order."""
+        return list(self._roots)
 
     def span_children(self, parent: "Span | int") -> list[Span]:
-        """Direct children of ``parent``, in begin-time order."""
+        """Direct children of ``parent``, in recording order.
+
+        Served from the incrementally-maintained parent index: O(children),
+        never a rescan of every span.
+        """
         pid = parent.id if isinstance(parent, Span) else parent
-        return [s for s in self.spans if s.parent_id == pid]
+        return list(self._children.get(pid, ()))
+
+    def children_index(self) -> dict[int, list[Span]]:
+        """The live parent-id -> children index (read-only by convention).
+
+        Analyzers (:mod:`repro.obs.critpath`, :mod:`repro.obs.export`) walk
+        thousands of trees; handing them the index directly avoids even the
+        per-call list copies of :meth:`span_children`.
+        """
+        return self._children
 
     def span_tree(self, root: "Span | int") -> list[tuple[int, Span]]:
         """The subtree under ``root`` as (depth, span) pairs, preorder."""
-        root_span = (root if isinstance(root, Span)
-                     else next(s for s in self.spans if s.id == root))
+        root_span = root if isinstance(root, Span) else self._by_id[root]
         out: list[tuple[int, Span]] = []
-
-        def visit(span: Span, depth: int) -> None:
+        children = self._children
+        stack: list[tuple[int, Span]] = [(0, root_span)]
+        while stack:
+            depth, span = stack.pop()
             out.append((depth, span))
-            for child in self.span_children(span):
-                visit(child, depth + 1)
-
-        visit(root_span, 0)
+            stack.extend(
+                (depth + 1, child)
+                for child in reversed(children.get(span.id, ()))
+            )
         return out
+
+    def open_spans(self) -> list[Span]:
+        """Spans never closed (end is None), in recording order."""
+        return [s for s in self.spans if s.end is None]
+
+    def trace_end(self) -> float:
+        """The last instant the trace knows about.
+
+        The maximum over record times and span begin/end times — the clamp
+        target analyzers use for spans that were still open when tracing
+        stopped.
+        """
+        end = 0.0
+        for rec in self.records:
+            end = max(end, rec.time)
+        for span in self.spans:
+            end = max(end, span.begin if span.end is None else span.end)
+        return end
 
     def render_spans(self, root: "Span | int | None" = None) -> str:
         """An indented text tree of spans (one root, or all roots)."""
@@ -190,12 +247,22 @@ class Tracer:
 
     # -- export ---------------------------------------------------------------
     def to_jsonl(self) -> str:
-        """Records and spans as JSON lines (records first, begin-ordered)."""
-        lines = [
+        """One meta line, then records, then spans, as JSON lines.
+
+        The meta line carries the schema tag (:data:`TRACE_SCHEMA`) and the
+        record/span counts; :func:`load_jsonl` checks it on the way back in.
+        With per-tracer span ids (and per-registry request / per-engine buf
+        ids) two same-seed runs export byte-identically, with no
+        renumbering step.
+        """
+        lines = [json.dumps({"type": "meta", "schema": TRACE_SCHEMA,
+                             "records": len(self.records),
+                             "spans": len(self.spans)})]
+        lines.extend(
             json.dumps({"type": "record", "time": r.time, "tag": r.tag,
                         **r.fields}, default=str)
             for r in self.records
-        ]
+        )
         lines.extend(
             json.dumps({"type": "span", "id": s.id, "parent": s.parent_id,
                         "name": s.name, "begin": s.begin, "end": s.end,
@@ -213,9 +280,13 @@ class Tracer:
         return 0 if not text else text.count("\n") + 1
 
     def clear(self) -> None:
-        """Drop all recorded history (records and spans)."""
+        """Drop all recorded history (records and spans); ids restart."""
         self.records.clear()
         self.spans.clear()
+        self._by_id.clear()
+        self._children.clear()
+        self._roots.clear()
+        self._span_ids = count(1)
 
     def select(self, *tags: str) -> list[TraceRecord]:
         """All records whose tag is one of ``tags``, in time order."""
@@ -234,3 +305,46 @@ class Tracer:
         """Render matching records one per line (for logs and debugging)."""
         records = self.records if predicate is None else [r for r in self.records if predicate(r)]
         return "\n".join(rec.describe() for rec in records)
+
+
+def load_jsonl(text: str) -> Tracer:
+    """Rebuild a :class:`Tracer` from a :meth:`Tracer.to_jsonl` document.
+
+    The returned tracer is an offline artifact: it carries a private idle
+    engine, is disabled (appending to an ingested trace would corrupt the
+    counts), and exists so every analyzer — critical path, exporters,
+    attribution — works identically on a live tracer and a file.
+
+    Raises ``ValueError`` on a missing/incompatible schema line or a span
+    whose parent never appears.
+    """
+    from repro.sim.engine import Engine
+
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace document")
+    meta = json.loads(lines[0])
+    if meta.get("type") != "meta" or meta.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"not a {TRACE_SCHEMA} trace (first line: {lines[0][:80]!r})")
+    tracer = Tracer(Engine(), enabled=False)
+    max_id = 0
+    for line in lines[1:]:
+        obj = json.loads(line)
+        kind = obj.pop("type", None)
+        if kind == "record":
+            tracer.records.append(
+                TraceRecord(obj.pop("time"), obj.pop("tag"), obj))
+        elif kind == "span":
+            span = Span(obj.pop("id"), obj.pop("name"), obj.pop("parent"),
+                        obj.pop("begin"), obj.pop("end"), obj)
+            max_id = max(max_id, span.id)
+            tracer._add_span(span)
+        else:
+            raise ValueError(f"unknown trace line type {kind!r}")
+    for span in tracer.spans:
+        if span.parent_id is not None and span.parent_id not in tracer._by_id:
+            raise ValueError(f"span {span.id} has unknown parent "
+                             f"{span.parent_id}")
+    tracer._span_ids = count(max_id + 1)
+    return tracer

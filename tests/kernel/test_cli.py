@@ -101,3 +101,53 @@ def test_cli_bench_gate_against_self(tmp_path):
                          "--ops", "16", "--baseline", str(baseline))
     assert mismatched.returncode == 1
     assert "perf gate FAILED" in mismatched.stdout
+
+
+def test_cli_trace_analyze_verifies_and_exits_zero():
+    result = run_cli("trace", "analyze", "--config", "C",
+                     "--file-mb", "1", "--ops", "16")
+    assert result.returncode == 0
+    assert "critical paths:" in result.stdout
+    assert "OK: every critical path conserves" in result.stdout
+
+
+def test_cli_trace_chrome_and_flamegraph_round_trip(tmp_path):
+    chrome = tmp_path / "trace.json"
+    result = run_cli("trace", "chrome", "--config", "C", "--file-mb", "1",
+                     "--ops", "16", "--out", str(chrome))
+    assert result.returncode == 0
+    document = json.loads(chrome.read_text())
+    assert document["otherData"]["schema"] == "repro-chrome/v1"
+    assert document["traceEvents"]
+
+    folded = run_cli("trace", "flamegraph", "--config", "C", "--file-mb", "1",
+                     "--ops", "16", "--out", "-")
+    assert folded.returncode == 0
+    assert any(";" in line and line.rsplit(" ", 1)[1].isdigit()
+               for line in folded.stdout.splitlines())
+
+
+def test_cli_trace_ingests_exported_jsonl(tmp_path):
+    jsonl = tmp_path / "trace.jsonl"
+    jsonl.write_text(
+        '{"type": "meta", "schema": "repro-trace/v1", "records": 0,'
+        ' "spans": 2}\n'
+        '{"type": "span", "id": 1, "parent": null, "name": "read",'
+        ' "begin": 0.0, "end": 0.01, "request": 1}\n'
+        '{"type": "span", "id": 2, "parent": 1, "name": "queue_wait",'
+        ' "begin": 0.001, "end": 0.004}\n')
+    result = run_cli("trace", "analyze", "--trace-jsonl", str(jsonl))
+    assert result.returncode == 0
+    assert "queue_wait" in result.stdout
+    # series needs a live run; an offline trace has no metrics registry.
+    refused = run_cli("trace", "series", "--trace-jsonl", str(jsonl))
+    assert refused.returncode == 2
+
+
+def test_cli_trace_series_renders_sparklines():
+    result = run_cli("trace", "series", "--config", "A", "--file-mb", "1",
+                     "--ops", "16", "--namespaces", "vm.freemem",
+                     "--interval-ms", "20")
+    assert result.returncode == 0
+    assert "vm.freemem" in result.stdout
+    assert "|" in result.stdout

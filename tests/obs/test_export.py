@@ -1,0 +1,164 @@
+"""Tests for the Chrome-trace and folded-stack exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.bench.iobench import IObench
+from repro.kernel.config import SystemConfig
+from repro.obs.export import (
+    CHROME_SCHEMA, chrome_trace, chrome_trace_json, folded_stacks,
+)
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer, load_jsonl
+from repro.units import MB
+
+
+def make_tracer():
+    eng = Engine()
+    return eng, Tracer(eng, enabled=True)
+
+
+def ms(n):
+    return n * 1e-3
+
+
+def x_events(doc):
+    return [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+
+
+# -- chrome trace structure ----------------------------------------------------
+
+def test_chrome_trace_request_track_and_event_shape():
+    _, tr = make_tracer()
+    root = tr.record_span("read", ms(0), ms(10), request=42)
+    tr.record_span("queue_wait", ms(1), ms(3), parent=root, buf=7)
+    doc = chrome_trace(tr)
+    assert doc["otherData"]["schema"] == CHROME_SCHEMA
+    events = x_events(doc)
+    assert len(events) == 2
+    for event in events:
+        assert event["pid"] == 1
+        assert event["tid"] == 42  # tid = request id
+        assert set(event) >= {"name", "cat", "ph", "ts", "dur", "args"}
+    wait = next(e for e in events if e["name"] == "queue_wait")
+    assert wait["cat"] == "queue_wait"
+    assert wait["ts"] == pytest.approx(1000.0)  # microseconds
+    assert wait["dur"] == pytest.approx(2000.0)
+    assert wait["args"]["buf"] == 7
+    assert wait["args"]["parent"] == root.id
+
+
+def test_chrome_trace_member_io_moves_to_disk_track():
+    _, tr = make_tracer()
+    root = tr.record_span("read", ms(0), ms(10), request=1)
+    mio = tr.record_span("disk_io[m2]", ms(1), ms(6), parent=root)
+    tr.record_span("service", ms(2), ms(5), parent=mio)
+    doc = chrome_trace(tr)
+    events = {e["name"]: e for e in x_events(doc)}
+    assert events["read"]["tid"] == 1
+    # The member I/O and its whole subtree land on the disk[m2] track.
+    assert events["disk_io[m2]"]["tid"] >= 1_000_000
+    assert events["service"]["tid"] == events["disk_io[m2]"]["tid"]
+    names = {e["args"]["name"]: e.get("tid")
+             for e in doc["traceEvents"] if e["ph"] == "M"
+             and e["name"] == "thread_name"}
+    assert names["disk[m2]"] == events["disk_io[m2]"]["tid"]
+
+
+def test_chrome_trace_rootless_spans_get_named_tracks():
+    _, tr = make_tracer()
+    tr.record_span("nfs_server", ms(0), ms(2), op="read")
+    tr.record_span("nfs_server", ms(3), ms(4), op="write")
+    doc = chrome_trace(tr)
+    events = x_events(doc)
+    tids = {e["tid"] for e in events}
+    assert len(tids) == 1 and min(tids) >= 1_000_000
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert names == ["nfs_server"]
+
+
+def test_chrome_trace_open_span_policy():
+    _, tr = make_tracer()
+    open_root = tr.record_span("read", ms(0), ms(1), request=1)
+    open_root.end = None
+    done = tr.record_span("write", ms(0), ms(5), request=2)
+    leaked = tr.record_span("queue_wait", ms(1), ms(2), parent=done)
+    leaked.end = None
+    doc = chrome_trace(tr)
+    assert doc["otherData"]["open_roots"] == 1
+    assert doc["otherData"]["open_spans"] == 1
+    events = {e["name"]: e for e in x_events(doc)}
+    assert "read" not in events  # open root excluded
+    # Leaked child clamped to its root's end: 1 ms .. 5 ms.
+    assert events["queue_wait"]["dur"] == pytest.approx(4000.0)
+
+
+# -- folded stacks -------------------------------------------------------------
+
+def test_folded_stacks_lines_and_values():
+    _, tr = make_tracer()
+    root = tr.record_span("read", ms(0), ms(10), request=1)
+    gp = tr.record_span("getpage", ms(2), ms(8), parent=root)
+    io = tr.record_span("disk_io", ms(3), ms(7), parent=gp)
+    tr.record_span("queue_wait", ms(3), ms(5), parent=io)
+    text = folded_stacks(tr)
+    lines = text.splitlines()
+    assert lines == sorted(lines)
+    table = {}
+    for line in lines:
+        stack, value = line.rsplit(" ", 1)
+        table[stack] = int(value)  # integer microseconds
+    assert table["read"] == 4000
+    assert table["read;getpage"] == 2000
+    assert table["read;getpage;disk_io"] == 2000
+    assert table["read;getpage;disk_io;queue_wait"] == 2000
+    assert sum(table.values()) == 10_000  # widths sum to total latency
+    assert text.endswith("\n")
+
+
+def test_folded_stacks_empty_trace():
+    _, tr = make_tracer()
+    assert folded_stacks(tr) == ""
+
+
+# -- acceptance: byte-identical same-seed exports ------------------------------
+
+def run_traced_fsr():
+    bench = IObench(SystemConfig.by_name("C"), file_size=1 * MB,
+                    random_ops=16, seed=1991, trace_phase="FSR")
+    bench.run()
+    return bench.system.tracer
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    return run_traced_fsr(), run_traced_fsr()
+
+
+def test_same_seed_chrome_export_byte_identical(two_runs):
+    a, b = two_runs
+    text_a, text_b = chrome_trace_json(a), chrome_trace_json(b)
+    assert text_a == text_b
+    doc = json.loads(text_a)  # and it is valid, loadable JSON
+    assert doc["otherData"]["schema"] == CHROME_SCHEMA
+    assert len(x_events(doc)) > 0
+
+
+def test_same_seed_folded_export_byte_identical(two_runs):
+    a, b = two_runs
+    assert folded_stacks(a) == folded_stacks(b)
+    assert "read;getpage" in folded_stacks(a)
+
+
+def test_same_seed_jsonl_export_byte_identical(two_runs):
+    a, b = two_runs
+    assert a.to_jsonl() == b.to_jsonl()
+
+
+def test_exports_survive_jsonl_round_trip(two_runs):
+    live, _ = two_runs
+    reloaded = load_jsonl(live.to_jsonl())
+    assert chrome_trace_json(reloaded) == chrome_trace_json(live)
+    assert folded_stacks(reloaded) == folded_stacks(live)

@@ -284,3 +284,61 @@ def test_reentrant_run_rejected():
     eng.schedule(1.0, meddler)
     with pytest.raises(SimulationError):
         eng.run()
+
+
+# -- recurring timers (Engine.every) ------------------------------------------
+
+def test_every_fires_at_interval_multiples():
+    eng = Engine()
+    ticks = []
+    timer = eng.every(0.010, lambda: ticks.append(eng.now))
+
+    def anchor():
+        yield eng.timeout(0.035)
+
+    eng.run_process(anchor())
+    assert ticks == pytest.approx([0.010, 0.020, 0.030])
+    assert timer.fires == 3
+
+
+def test_every_daemon_never_keeps_run_alive():
+    eng = Engine()
+    eng.every(0.010, lambda: None)
+    eng.run()
+    assert eng.now == 0.0
+
+
+def test_every_non_daemon_needs_cancel():
+    eng = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(eng.now)
+        if len(ticks) == 3:
+            timer.cancel()
+
+    timer = eng.every(0.010, tick, daemon=False)
+    eng.run()
+    assert len(ticks) == 3
+    assert eng.now == pytest.approx(0.030)
+
+
+def test_every_cancel_stops_future_fires():
+    eng = Engine()
+    ticks = []
+    timer = eng.every(0.010, lambda: ticks.append(eng.now))
+
+    def anchor():
+        yield eng.timeout(0.025)
+        timer.cancel()
+        yield eng.timeout(0.050)
+
+    eng.run_process(anchor())
+    assert len(ticks) == 2
+    timer.cancel()  # idempotent
+
+
+def test_every_rejects_bad_interval():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.every(0.0, lambda: None)

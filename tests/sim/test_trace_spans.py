@@ -81,23 +81,30 @@ def test_to_jsonl_contains_records_then_spans(tmp_path):
     span = tr.span_begin("read", fd=3)
     tr.span_end(span)
     lines = [json.loads(line) for line in tr.to_jsonl().splitlines()]
-    assert lines[0]["type"] == "record"
-    assert lines[0]["tag"] == "getpage_sync"
-    assert lines[1]["type"] == "span"
-    assert lines[1]["name"] == "read"
-    assert lines[1]["fd"] == 3
+    assert lines[0]["type"] == "meta"
+    assert lines[0]["schema"] == "repro-trace/v1"
+    assert lines[0]["records"] == 1
+    assert lines[0]["spans"] == 1
+    assert lines[1]["type"] == "record"
+    assert lines[1]["tag"] == "getpage_sync"
+    assert lines[2]["type"] == "span"
+    assert lines[2]["name"] == "read"
+    assert lines[2]["fd"] == 3
 
     path = tmp_path / "out.jsonl"
     count = tr.export_jsonl(str(path))
-    assert count == 2
-    assert len(path.read_text().splitlines()) == 2
+    assert count == 3
+    assert len(path.read_text().splitlines()) == 3
 
 
 def test_export_jsonl_empty_tracer(tmp_path):
     _, tr = make_tracer()
     path = tmp_path / "empty.jsonl"
-    assert tr.export_jsonl(str(path)) == 0
-    assert path.read_text() == ""
+    # Even an empty trace carries its schema-versioned meta line.
+    assert tr.export_jsonl(str(path)) == 1
+    meta = json.loads(path.read_text())
+    assert meta["type"] == "meta"
+    assert meta["spans"] == 0
 
 
 def test_limit_to_filters_records_not_spans():
